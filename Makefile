@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all test vet bench experiments examples cover clean
+
+all: test
+
+test:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/blasmix
+	$(GO) run ./examples/splash
+	$(GO) run ./examples/profiler
+	$(GO) run ./examples/partition
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

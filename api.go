@@ -1,0 +1,121 @@
+package rdasched
+
+// This file is the library's public facade: type aliases and constructors
+// re-exporting the pieces a downstream user composes, so that
+// `import "rdasched"` is enough for the common paths — describing a
+// workload, picking a policy, running it on the Table 1 machine, and
+// reading the paper's metrics. The full surface (profiler, traces, cache
+// simulator, experiment harnesses) lives in the internal packages and is
+// reached through the cmd/ tools and examples.
+
+import (
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/perf"
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+	"rdasched/internal/workloads"
+)
+
+// Progress-period vocabulary (§2 of the paper).
+type (
+	// Resource identifies a tracked hardware resource (ResourceLLC).
+	Resource = pp.Resource
+	// Reuse is a period's relative temporal-locality level.
+	Reuse = pp.Reuse
+	// Bytes is a memory size.
+	Bytes = pp.Bytes
+	// Demand is the (resource, working set, reuse) triple of pp_begin.
+	Demand = pp.Demand
+)
+
+// Re-exported constants.
+const (
+	ResourceLLC = pp.ResourceLLC
+	ReuseLow    = pp.ReuseLow
+	ReuseMed    = pp.ReuseMed
+	ReuseHigh   = pp.ReuseHigh
+)
+
+// MB converts (possibly fractional) binary megabytes to Bytes — the
+// paper's MB(6.3) literal.
+func MB(v float64) Bytes { return pp.MB(v) }
+
+// Workload description (what the simulated applications run).
+type (
+	// Phase is a duration of execution with constant resource behaviour;
+	// Declared phases are bracketed by pp_begin/pp_end.
+	Phase = proc.Phase
+	// Program is a thread's phase sequence.
+	Program = proc.Program
+	// Spec describes one process (threads × program).
+	Spec = proc.Spec
+	// Workload is a named multiprogrammed mix.
+	Workload = proc.Workload
+)
+
+// Scheduling (§3): the demand-aware extension and its policies.
+type (
+	// Policy is the reconfigurable scheduling predicate policy.
+	Policy = core.Policy
+	// Scheduler is the RDA extension (progress monitor + resource
+	// monitor + predicate).
+	Scheduler = core.Scheduler
+	// StrictPolicy is RDA:Strict.
+	StrictPolicy = core.StrictPolicy
+	// CompromisePolicy is RDA:Compromise (factor x).
+	CompromisePolicy = core.CompromisePolicy
+)
+
+// NewCompromise returns RDA:Compromise with the paper's factor (2).
+func NewCompromise() CompromisePolicy { return core.NewCompromise() }
+
+// PolicyByName resolves "default", "strict", or "compromise".
+func PolicyByName(name string) (Policy, error) { return core.PolicyByName(name) }
+
+// Machine model (the simulated Table 1 testbed).
+type (
+	// MachineConfig holds every model constant.
+	MachineConfig = machine.Config
+	// Machine simulates one run.
+	Machine = machine.Machine
+	// RunResult summarizes a run.
+	RunResult = machine.Result
+)
+
+// DefaultMachine returns the Table 1 configuration (12 cores, 1.9 GHz,
+// 15360 KiB shared LLC) with calibrated model constants.
+func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
+
+// Measurement (the perf + RAPL stand-in).
+type (
+	// Metrics are the §4.1 evaluation metrics.
+	Metrics = perf.Metrics
+	// RunConfig describes one measured configuration.
+	RunConfig = perf.RunConfig
+)
+
+// Table2 returns the paper's eight workloads.
+func Table2() []Workload { return workloads.Table2() }
+
+// WorkloadByName looks a Table 2 workload up by name.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// Run measures a workload under a scheduling configuration, averaging
+// repetitions, and returns mean and standard-deviation metrics. A nil
+// policy selects the Linux-default baseline: the workload runs
+// uninstrumented (Declared flags stripped, no admission control).
+func Run(w Workload, rc RunConfig) (mean, stddev Metrics, err error) {
+	return perf.Run(w, rc)
+}
+
+// NewScheduledMachine wires the standard stack: a machine with the given
+// config whose declared phases are gated by a fresh RDA scheduler running
+// the given policy. It returns both so callers can add workloads and
+// inspect the scheduler after the run.
+func NewScheduledMachine(cfg MachineConfig, policy Policy) (*Machine, *Scheduler) {
+	s := core.New(policy, cfg.LLCCapacity)
+	m := machine.New(cfg, s)
+	s.SetWaker(m)
+	return m, s
+}

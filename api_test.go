@@ -1,0 +1,125 @@
+package rdasched_test
+
+import (
+	"testing"
+
+	"rdasched"
+)
+
+// TestFacadeFigure4 exercises the public facade end to end: describe a
+// kernel the way the paper's Figure 4 does, run it under default and
+// strict, and observe the admission-control effect.
+func TestFacadeFigure4(t *testing.T) {
+	kernel := rdasched.Phase{
+		Name:             "dgemm",
+		Instr:            1e7,
+		WSS:              rdasched.MB(6.3),
+		Reuse:            rdasched.ReuseHigh,
+		AccessesPerInstr: 0.3,
+		PrivateHitFrac:   0.85,
+		StreamFrac:       0.05,
+		FlopsPerInstr:    0.5,
+		Declared:         true,
+	}
+	w := rdasched.Workload{
+		Name: "fig4",
+		Procs: []rdasched.Spec{
+			{Name: "a", Threads: 1, Program: rdasched.Program{kernel}},
+			{Name: "b", Threads: 1, Program: rdasched.Program{kernel}},
+			{Name: "c", Threads: 1, Program: rdasched.Program{kernel}},
+		},
+	}
+
+	def, _, err := rdasched.Run(w, rdasched.RunConfig{
+		Machine: rdasched.DefaultMachine(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, _, err := rdasched.Run(w, rdasched.RunConfig{
+		Machine: rdasched.DefaultMachine(),
+		Policy:  rdasched.StrictPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 × 6.3 MB on 15 MB: strict must serialize (pauses observed), and
+	// the serialized run moves far less data to DRAM.
+	if strict.Blocks == 0 {
+		t.Fatal("strict policy paused nothing")
+	}
+	if def.Blocks != 0 {
+		t.Fatal("default baseline paused threads")
+	}
+	if strict.DRAMAccesses >= def.DRAMAccesses {
+		t.Fatalf("strict DRAM traffic %v not below default %v",
+			strict.DRAMAccesses, def.DRAMAccesses)
+	}
+}
+
+func TestFacadeScheduledMachine(t *testing.T) {
+	cfg := rdasched.DefaultMachine()
+	m, s := rdasched.NewScheduledMachine(cfg, rdasched.NewCompromise())
+	w, err := rdasched.WorkloadByName("BLAS-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink for test time: one kernel instance per BLAS-3 kernel kind.
+	w.Procs = w.Procs[:8]
+	if err := m.AddWorkload(w); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SystemJ <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	if s.Stats().Begins == 0 {
+		t.Fatal("scheduler saw no periods")
+	}
+	if got := s.Resources().Usage(rdasched.ResourceLLC); got != 0 {
+		t.Fatalf("leftover load %v after run", got)
+	}
+}
+
+func TestFacadePolicyByName(t *testing.T) {
+	for _, name := range []string{"default", "strict", "compromise"} {
+		if _, err := rdasched.PolicyByName(name); err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := rdasched.PolicyByName("nope"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestFacadeTable2(t *testing.T) {
+	ws := rdasched.Table2()
+	if len(ws) != 8 {
+		t.Fatalf("Table2 = %d workloads", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rdasched.WorkloadByName("water_nsq"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDemand(t *testing.T) {
+	d := rdasched.Demand{
+		Resource:   rdasched.ResourceLLC,
+		WorkingSet: rdasched.MB(6.3),
+		Reuse:      rdasched.ReuseHigh,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.String() == "" {
+		t.Fatal("empty demand string")
+	}
+}

@@ -1,0 +1,219 @@
+package rdasched_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benchmarks for the design choices DESIGN.md calls out. Each
+// evaluation benchmark runs its experiment at a reduced (shape-
+// preserving) scale per iteration and reports the figure's headline
+// quantity as a custom metric, so `go test -bench=.` both exercises the
+// full pipeline and prints the reproduced numbers. cmd/experiments -all
+// regenerates the full-scale versions recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"rdasched/internal/core"
+	"rdasched/internal/experiments"
+	"rdasched/internal/machine"
+	"rdasched/internal/perf"
+	"rdasched/internal/proc"
+	"rdasched/internal/workloads"
+)
+
+func benchOpts() experiments.Options {
+	o := experiments.Defaults()
+	o.Repetitions = 1
+	o.JitterFrac = 0
+	o.Scale = 0.1
+	return o
+}
+
+func BenchmarkTable1MachineModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.Table2() {
+			if err := w.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// comparisonBench runs the Figures 7–10 sweep and reports one metric.
+func comparisonBench(b *testing.B, metric func(perf.Metrics) float64, unit string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunPolicyComparison(workloads.Table2(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: strict vs default, averaged over workloads.
+		var strictSum, defSum float64
+		for _, r := range rows {
+			switch r.Policy {
+			case "strict":
+				strictSum += metric(r.Mean)
+			case "default":
+				defSum += metric(r.Mean)
+			}
+		}
+		last = strictSum / defSum
+	}
+	b.ReportMetric(last, unit)
+}
+
+func BenchmarkFig7SystemEnergy(b *testing.B) {
+	comparisonBench(b, func(m perf.Metrics) float64 { return m.SystemJ }, "strict/default-J")
+}
+
+func BenchmarkFig8DRAMEnergy(b *testing.B) {
+	comparisonBench(b, func(m perf.Metrics) float64 { return m.DRAMJ }, "strict/default-dramJ")
+}
+
+func BenchmarkFig9GFLOPS(b *testing.B) {
+	comparisonBench(b, func(m perf.Metrics) float64 { return m.GFLOPS }, "strict/default-gflops")
+}
+
+func BenchmarkFig10Efficiency(b *testing.B) {
+	comparisonBench(b, func(m perf.Metrics) float64 { return m.GFLOPSPerWatt }, "strict/default-gfpw")
+}
+
+func BenchmarkFig11Granularity(b *testing.B) {
+	var inner float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunGranularity(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Label == "inner" {
+				inner = p.Overhead
+			}
+		}
+	}
+	b.ReportMetric(inner*100, "inner-overhead-%")
+}
+
+func BenchmarkFig12WSSPrediction(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWSSPrediction(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = 0
+		for _, s := range res.Series {
+			acc += s.Accuracy
+		}
+		acc /= float64(len(res.Series))
+	}
+	b.ReportMetric(acc*100, "mean-accuracy-%")
+}
+
+func BenchmarkFig13Interference(b *testing.B) {
+	var cliff float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunInterference(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var g6, g12 float64
+		for _, p := range res.Points {
+			if p.Molecules == 8000 && p.Instances == 6 {
+				g6 = p.GFLOPS
+			}
+			if p.Molecules == 8000 && p.Instances == 12 {
+				g12 = p.GFLOPS
+			}
+		}
+		cliff = g12 / g6
+	}
+	b.ReportMetric(cliff, "8000mol-12/6-scaling")
+}
+
+// --- Ablations (design choices from DESIGN.md §5) ---
+
+func ablationRun(b *testing.B, cfg machine.Config, policy core.Policy) perf.Metrics {
+	b.Helper()
+	w := proc.ScaleInstr(workloads.WaterNsq(), 0.1)
+	m, _, err := perf.Run(w, perf.RunConfig{Machine: cfg, Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkAblationResidencyExponent contrasts the LRU-cliff model
+// (exponent 2) with linear sharing (exponent 1): the cliff is what makes
+// unmanaged co-scheduling expensive.
+func BenchmarkAblationResidencyExponent(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		linear := machine.DefaultConfig()
+		linear.ResidencyExponent = 1
+		cliff := machine.DefaultConfig()
+		ratio = ablationRun(b, linear, nil).GFLOPS / ablationRun(b, cliff, nil).GFLOPS
+	}
+	b.ReportMetric(ratio, "linear/cliff-default-gflops")
+}
+
+// BenchmarkAblationWakeRefill measures what ignoring pause/resume cache
+// refill would claim for the strict policy.
+func BenchmarkAblationWakeRefill(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		free := machine.DefaultConfig()
+		free.WakeRefillFactor = 0
+		real := machine.DefaultConfig()
+		ratio = ablationRun(b, free, core.StrictPolicy{}).SystemJ /
+			ablationRun(b, real, core.StrictPolicy{}).SystemJ
+	}
+	b.ReportMetric(ratio, "norefill/refill-strictJ")
+}
+
+// BenchmarkAblationOversubscriptionFactor sweeps the compromise policy's
+// factor (the paper fixes x = 2) on water_nsquared.
+func BenchmarkAblationOversubscriptionFactor(b *testing.B) {
+	var best float64
+	var bestX float64
+	for i := 0; i < b.N; i++ {
+		best, bestX = 0, 0
+		for _, x := range []float64{1.25, 1.5, 2, 3, 4} {
+			m := ablationRun(b, machine.DefaultConfig(), core.CompromisePolicy{Factor: x})
+			if m.GFLOPSPerWatt > best {
+				best, bestX = m.GFLOPSPerWatt, x
+			}
+		}
+	}
+	b.ReportMetric(bestX, "best-factor")
+}
+
+// BenchmarkAblationTaskPoolParking compares §3.4's whole-pool parking
+// against naive per-thread blocking on the task-pool workload.
+func BenchmarkAblationTaskPoolParking(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pooled := proc.ScaleInstr(workloads.Volrend(), 0.1)
+		naive := proc.ScaleInstr(workloads.Volrend(), 0.1)
+		for i := range naive.Procs {
+			naive.Procs[i].TaskPool = false
+		}
+		mp, _, err := perf.Run(pooled, perf.RunConfig{Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mn, _, err := perf.Run(naive, perf.RunConfig{Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = mp.GFLOPS / mn.GFLOPS
+	}
+	b.ReportMetric(ratio, "pooled/naive-gflops")
+}

@@ -1,0 +1,195 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated machine.
+//
+// Usage:
+//
+//	experiments -all               # everything (takes a few minutes)
+//	experiments -table 2           # workload inventory
+//	experiments -fig 7             # system energy comparison
+//	experiments -fig 13 -scale 0.2 # quick, shape-preserving run
+//	experiments -all -markdown     # output for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdasched/internal/experiments"
+	"rdasched/internal/report"
+	"rdasched/internal/workloads"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
+		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
+		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, or factor")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
+		reps     = flag.Int("reps", 4, "repetitions per measurement")
+		jitter   = flag.Float64("jitter", 0.02, "run-to-run variation")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	)
+	flag.Parse()
+
+	opt := experiments.Defaults()
+	opt.Scale = *scale
+	opt.Repetitions = *reps
+	opt.JitterFrac = *jitter
+	opt.Seed = *seed
+
+	emit := func(t *report.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	var tasks []func() error
+	addTable := func(n int) {
+		switch n {
+		case 1:
+			tasks = append(tasks, func() error { emit(experiments.Table1()); return nil })
+		case 2:
+			tasks = append(tasks, func() error { emit(experiments.Table2Report()); return nil })
+		default:
+			fatal(fmt.Errorf("unknown table %d (have 1, 2)", n))
+		}
+	}
+	addFig := func(n int) {
+		switch n {
+		case 7, 8, 9, 10:
+			tasks = append(tasks, func() error {
+				rows, err := experiments.RunPolicyComparison(workloads.Table2(), opt)
+				if err != nil {
+					return err
+				}
+				for _, f := range []int{7, 8, 9, 10} {
+					if f != n && !*all {
+						continue
+					}
+					t, err := experiments.FigureTable(f, rows)
+					if err != nil {
+						return err
+					}
+					emit(t)
+				}
+				return nil
+			})
+		case 11:
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunGranularity(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		case 12:
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunWSSPrediction(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		case 13:
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunInterference(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		default:
+			fatal(fmt.Errorf("unknown figure %d (have 7-13)", n))
+		}
+	}
+
+	addExt := func(name string) {
+		switch name {
+		case "partitioning", "reserve":
+			run := experiments.RunPartitioning
+			if name == "reserve" {
+				run = experiments.RunReserve
+			}
+			tasks = append(tasks, func() error {
+				res, err := run(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		case "calibration":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunCalibration(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		case "bandwidth":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunBandwidth(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		case "factor":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunFactorSweep(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		default:
+			fatal(fmt.Errorf("unknown extension %q (have partitioning, reserve, bandwidth, calibration, factor)", name))
+		}
+	}
+
+	switch {
+	case *all:
+		addTable(1)
+		addTable(2)
+		addFig(7) // emits 7-10 together from one sweep
+		addFig(11)
+		addFig(12)
+		addFig(13)
+		addExt("partitioning")
+		addExt("reserve")
+		addExt("bandwidth")
+		addExt("calibration")
+		addExt("factor")
+	case *table != 0:
+		addTable(*table)
+	case *fig != 0:
+		addFig(*fig)
+	case *ext != "":
+		addExt(*ext)
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -all, -fig N, -table N, or -ext NAME")
+		os.Exit(2)
+	}
+
+	for _, task := range tasks {
+		if err := task(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

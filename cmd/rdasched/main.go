@@ -1,0 +1,203 @@
+// Command rdasched runs one of the paper's Table 2 workloads on the
+// simulated Table 1 machine under a chosen scheduling configuration and
+// prints the perf/RAPL-style measurement report.
+//
+// Usage:
+//
+//	rdasched -workload water_nsq -policy strict
+//	rdasched -workload BLAS-3 -policy compromise -reps 4 -jitter 0.02
+//	rdasched -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rdasched/internal/core"
+	"rdasched/internal/experiments"
+	"rdasched/internal/machine"
+	"rdasched/internal/perf"
+	"rdasched/internal/proc"
+	"rdasched/internal/report"
+	"rdasched/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "Table 2 workload name (see -list)")
+		policy   = flag.String("policy", "default", "scheduling policy: default, strict, or compromise")
+		reps     = flag.Int("reps", 4, "measurement repetitions to average (the paper uses 4)")
+		jitter   = flag.Float64("jitter", 0.02, "run-to-run phase-length variation (fraction)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		scale    = flag.Float64("scale", 1, "shrink phase lengths for quick runs (0 < scale ≤ 1)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		all      = flag.Bool("all", false, "run every workload under every policy")
+		asJSON   = flag.Bool("json", false, "emit the measurement as JSON instead of a table")
+		timeline = flag.Bool("timeline", false, "render a core-utilization timeline and the scheduler's last decisions")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 2 workloads:")
+		for _, n := range workloads.Names() {
+			fmt.Println("  ", n)
+		}
+		return
+	}
+
+	if *all {
+		if err := runAll(*reps, *jitter, *seed, *scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "rdasched: -workload required (or -list / -all); e.g. -workload water_nsq")
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	if *scale > 0 && *scale < 1 {
+		w = proc.ScaleInstr(w, *scale)
+	}
+	var pol core.Policy
+	if *policy != "default" {
+		pol, err = core.PolicyByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *timeline {
+		if err := runTimeline(w, pol); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	mean, sd, err := perf.Run(w, perf.RunConfig{
+		Machine:     machine.DefaultConfig(),
+		Policy:      pol,
+		Repetitions: *reps,
+		JitterFrac:  *jitter,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		out := struct {
+			Workload string       `json:"workload"`
+			Policy   string       `json:"policy"`
+			Mean     perf.Metrics `json:"mean"`
+			StdDev   perf.Metrics `json:"stddev"`
+		}{*workload, *policy, mean, sd}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printMetrics(*workload, *policy, mean, sd)
+}
+
+func runAll(reps int, jitter float64, seed uint64, scale float64) error {
+	opt := experiments.Defaults()
+	opt.Repetitions = reps
+	opt.JitterFrac = jitter
+	opt.Seed = seed
+	opt.Scale = scale
+	rows, err := experiments.RunPolicyComparison(workloads.Table2(), opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("All workloads under all policies",
+		"workload", "policy", "system J", "DRAM J", "GFLOPS", "GFLOPS/W", "seconds")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Policy,
+			fmt.Sprintf("%.1f", r.Mean.SystemJ),
+			fmt.Sprintf("%.1f", r.Mean.DRAMJ),
+			fmt.Sprintf("%.3f", r.Mean.GFLOPS),
+			fmt.Sprintf("%.4f", r.Mean.GFLOPSPerWatt),
+			fmt.Sprintf("%.2f", r.Mean.ElapsedSec))
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func printMetrics(workload, policy string, m, sd perf.Metrics) {
+	fmt.Printf("workload %s under %s policy\n\n", workload, policy)
+	t := report.NewTable("", "metric", "mean", "stddev")
+	t.AddRow("system energy (J)", fmt.Sprintf("%.1f", m.SystemJ), fmt.Sprintf("%.2f", sd.SystemJ))
+	t.AddRow("DRAM energy (J)", fmt.Sprintf("%.1f", m.DRAMJ), fmt.Sprintf("%.2f", sd.DRAMJ))
+	t.AddRow("package energy (J)", fmt.Sprintf("%.1f", m.PackageJ), fmt.Sprintf("%.2f", sd.PackageJ))
+	t.AddRow("GFLOPS", fmt.Sprintf("%.3f", m.GFLOPS), fmt.Sprintf("%.4f", sd.GFLOPS))
+	t.AddRow("GFLOPS/Watt", fmt.Sprintf("%.4f", m.GFLOPSPerWatt), fmt.Sprintf("%.5f", sd.GFLOPSPerWatt))
+	t.AddRow("elapsed (s)", fmt.Sprintf("%.3f", m.ElapsedSec), fmt.Sprintf("%.4f", sd.ElapsedSec))
+	t.AddRow("DRAM accesses", fmt.Sprintf("%.3g", m.DRAMAccesses), "")
+	t.AddRow("avg busy cores", fmt.Sprintf("%.1f", m.AvgBusyCores), "")
+	t.AddRow("pauses / wakeups", fmt.Sprintf("%d / %d", m.Blocks, m.Wakeups), "")
+	fmt.Print(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdasched:", err)
+	os.Exit(1)
+}
+
+// runTimeline executes one un-jittered run with utilization sampling and
+// the scheduler decision log enabled, and renders both.
+func runTimeline(w proc.Workload, pol core.Policy) error {
+	cfg := machine.DefaultConfig()
+	var gate machine.Gate
+	var schd *core.Scheduler
+	if pol == nil {
+		w = perf.Undeclare(w)
+	} else {
+		schd = core.New(pol, cfg.LLCCapacity)
+		schd.EnableLog(64)
+		gate = schd
+	}
+	m := machine.New(cfg, gate)
+	if schd != nil {
+		schd.SetWaker(m)
+		schd.SetClock(m.Now)
+	}
+	m.EnableTimeline(0) // default interval
+	if err := m.AddWorkload(w); err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+
+	// Downsample the timeline to at most 40 bars.
+	samples := res.Timeline
+	step := 1
+	if len(samples) > 40 {
+		step = len(samples) / 40
+	}
+	var labels []string
+	var busy []float64
+	for i := 0; i < len(samples); i += step {
+		labels = append(labels, fmt.Sprintf("%6.2fs", samples[i].At.Seconds()))
+		busy = append(busy, samples[i].BusyCores)
+	}
+	fmt.Print(report.Bars(fmt.Sprintf("busy cores over time (of %d)", cfg.Cores), labels, busy, 48))
+
+	if schd != nil {
+		events, dropped := schd.Events()
+		fmt.Printf("\nlast %d scheduler decisions (%d earlier dropped):\n", len(events), dropped)
+		for _, e := range events {
+			fmt.Println("  ", e)
+		}
+	}
+	fmt.Printf("\n%.2f s, %.1f J system, %.3f GFLOPS\n",
+		res.Elapsed.Seconds(), res.SystemJ, res.GFLOPS())
+	return nil
+}

@@ -1,0 +1,57 @@
+// partition demonstrates the paper's first future-work extension (§6):
+// cache partitioning for streaming applications whose working sets exceed
+// the last-level cache.
+//
+// Six streamers with 24 MB working sets share the machine with sixteen
+// blocked dgemms. Unpartitioned, a 24 MB demand can only be admitted by
+// the empty-load safeguard — and then nothing else fits, so the strict
+// policy degenerates to near-serial execution. Fenced into 0.5 MB
+// partitions ("it would fetch most data from main memory regardless"),
+// the streamers are charged half a megabyte each, physically confined to
+// it, and the whole mix runs concurrently with the dgemms' panels
+// resident.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/perf"
+	"rdasched/internal/pp"
+	"rdasched/internal/report"
+	"rdasched/internal/workloads"
+)
+
+func main() {
+	t := report.NewTable("6 × 24 MB streamers + 16 × 2.4 MB dgemms, strict policy",
+		"variant", "system J", "GFLOPS", "GFLOPS/W", "avg busy cores")
+	var rows []perf.Metrics
+	for _, v := range []struct {
+		name      string
+		partition pp.Bytes
+	}{
+		{"unpartitioned", 0},
+		{"0.5 MB partitions", pp.MB(0.5)},
+	} {
+		w := workloads.StreamingMix(v.partition)
+		m, _, err := perf.Run(w, perf.RunConfig{
+			Machine: machine.DefaultConfig(),
+			Policy:  core.StrictPolicy{},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, m)
+		t.AddRow(v.name,
+			fmt.Sprintf("%.1f", m.SystemJ),
+			fmt.Sprintf("%.3f", m.GFLOPS),
+			fmt.Sprintf("%.4f", m.GFLOPSPerWatt),
+			fmt.Sprintf("%.1f", m.AvgBusyCores))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\npartitioning the streamers: %.1fx the throughput, %.0f%% less energy — "+
+		"because the streamers never benefited from the cache they were hogging.\n",
+		rows[1].GFLOPS/rows[0].GFLOPS, (1-rows[1].SystemJ/rows[0].SystemJ)*100)
+}

@@ -1,0 +1,87 @@
+// profiler closes the paper's full loop at example scale:
+//
+//  1. profile an application's address trace in fixed instruction
+//     windows (§2.4 — the PIN stand-in),
+//  2. detect its progress periods as runs of similar windows and map
+//     them to outermost loops,
+//  3. take the measured demands and declare them to the RDA scheduler,
+//  4. run twelve instances of the *instrumented* application and compare
+//     against the unmodified binary on the default scheduler.
+//
+// This is exactly the workflow the paper proposes for adopting progress
+// periods in existing code: profile once, insert two API calls per hot
+// loop, let the OS do the rest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/perf"
+	"rdasched/internal/proc"
+	"rdasched/internal/profiler"
+	"rdasched/internal/workloads"
+)
+
+func main() {
+	// Step 1+2: profile water_nsquared at its default input.
+	const molecules = 8000
+	stream, bin := workloads.WaterNsqTrace(molecules, 7)
+	periods, err := profiler.Profile(stream, workloads.Fig12ProfilerConfig(), bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled water_nsquared at %d molecules: %d progress periods\n", molecules, len(periods))
+	for i, p := range periods {
+		loop := "?"
+		if p.LoopID >= 0 {
+			loop = bin.Name(p.LoopID)
+		}
+		fmt.Printf("  PP%d in loop %-8s  demand: %v (measured reuse ratio %.1f)\n",
+			i+1, loop, p.Demand(), p.ReuseRatio)
+	}
+
+	// Step 3: build the instrumented application from the measurements.
+	// Each detected period becomes a declared phase with the *measured*
+	// working set and reuse level — not the ground truth the trace was
+	// generated from.
+	var prog proc.Program
+	for i, p := range periods {
+		d := p.Demand()
+		prog = append(prog, proc.Phase{
+			Name:             fmt.Sprintf("pp%d", i+1),
+			Instr:            float64(p.Instr()),
+			WSS:              d.WorkingSet,
+			Reuse:            d.Reuse,
+			AccessesPerInstr: 0.35,
+			PrivateHitFrac:   0.75,
+			StreamFrac:       0.1,
+			FlopsPerInstr:    0.35,
+			Declared:         true,
+		})
+	}
+	spec := proc.Spec{Name: "wnsq-instrumented", Threads: 1, Program: prog}
+	w := proc.Workload{Name: "wnsq-x12", Procs: proc.Replicate(spec, 12)}
+
+	// Step 4: measure instrumented-under-strict vs plain-under-default.
+	strict, _, err := perf.Run(w, perf.RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, _, err := perf.Run(w, perf.RunConfig{
+		Machine: machine.DefaultConfig(), Policy: nil,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n12 instances, default scheduler : %7.1f J, %.3f GFLOPS\n", plain.SystemJ, plain.GFLOPS)
+	fmt.Printf("12 instances, profiled + strict : %7.1f J, %.3f GFLOPS\n", strict.SystemJ, strict.GFLOPS)
+	fmt.Printf("\nprofile-guided scheduling: %.0f%% energy saved at %.2fx the performance "+
+		"(%.2fx the energy efficiency) — with demands the profiler measured, not hand-tuned ones.\n",
+		(1-strict.SystemJ/plain.SystemJ)*100, strict.GFLOPS/plain.GFLOPS,
+		strict.GFLOPSPerWatt/plain.GFLOPSPerWatt)
+}

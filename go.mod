@@ -1,0 +1,3 @@
+module rdasched
+
+go 1.22

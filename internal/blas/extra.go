@@ -1,0 +1,150 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Additional kernels rounding out the BLAS levels beyond the twelve the
+// paper's workloads use — included so the library is adoptable as a
+// small pure-Go BLAS, and exercised by the property-test suite.
+
+// Idamax returns the index of the element with the largest absolute
+// value (-1 for an empty vector). Ties resolve to the lowest index,
+// matching reference BLAS.
+func Idamax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := math.Abs(x[0]), 0
+	for i := 1; i < len(x); i++ {
+		if a := math.Abs(x[i]); a > best {
+			best, bi = a, i
+		}
+	}
+	return bi
+}
+
+// Dasum returns Σ|xᵢ|.
+func Dasum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Drot applies a plane rotation: (xᵢ, yᵢ) ← (c·xᵢ + s·yᵢ, c·yᵢ − s·xᵢ).
+func Drot(x, y []float64, c, s float64) {
+	checkVecs("drot", x, y)
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi + s*yi
+		y[i] = c*yi - s*xi
+	}
+}
+
+// Drotg computes the Givens rotation (c, s) zeroing b against a,
+// returning c, s, and r = ±√(a²+b²) (the BLAS reference convention with
+// the sign of the larger component).
+func Drotg(a, b float64) (c, s, r float64) {
+	if b == 0 {
+		if a == 0 {
+			return 1, 0, 0
+		}
+		return 1, 0, a
+	}
+	if a == 0 {
+		return 0, 1, b
+	}
+	sigma := 1.0
+	if math.Abs(a) > math.Abs(b) {
+		if a < 0 {
+			sigma = -1
+		}
+	} else if b < 0 {
+		sigma = -1
+	}
+	r = sigma * math.Sqrt(a*a+b*b)
+	return a / r, b / r, r
+}
+
+// Dger performs the rank-1 update A ← A + alpha·x·yᵀ.
+func Dger(alpha float64, x, y []float64, a *Matrix) {
+	if a.Rows != len(x) || a.Cols != len(y) {
+		panic(fmt.Sprintf("blas: dger shape %dx%d vs %d,%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		axi := alpha * x[i]
+		for j := range ai {
+			ai[j] += axi * y[j]
+		}
+	}
+}
+
+// Dsymv computes y ← alpha·A·x + beta·y for symmetric A (full storage;
+// only consistency with symmetry is assumed, not checked).
+func Dsymv(alpha float64, a *Matrix, x []float64, beta float64, y []float64) {
+	if a.Rows != a.Cols || a.Rows != len(x) || len(x) != len(y) {
+		panic(fmt.Sprintf("blas: dsymv shape %dx%d vs %d,%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	DgemvN(alpha, a, x, beta, y)
+}
+
+// Dsyr performs the symmetric rank-1 update A ← A + alpha·x·xᵀ,
+// maintaining both triangles.
+func Dsyr(alpha float64, x []float64, a *Matrix) {
+	if a.Rows != a.Cols || a.Rows != len(x) {
+		panic(fmt.Sprintf("blas: dsyr shape %dx%d vs %d", a.Rows, a.Cols, len(x)))
+	}
+	for i := range x {
+		ai := a.Row(i)
+		axi := alpha * x[i]
+		for j := range x {
+			ai[j] += axi * x[j]
+		}
+	}
+}
+
+// Dsyr2k computes C ← alpha·(A·Bᵀ + B·Aᵀ) + beta·C for n×k A and B,
+// producing a symmetric n×n result.
+func Dsyr2k(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if c.Rows != c.Cols || a.Rows != c.Rows || b.Rows != c.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("blas: dsyr2k shape %dx%d, %dx%d → %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n := c.Rows
+	for i := 0; i < n; i++ {
+		ci := c.Row(i)
+		for j := 0; j <= i; j++ {
+			s := Ddot(a.Row(i), b.Row(j)) + Ddot(b.Row(i), a.Row(j))
+			v := alpha*s + beta*ci[j]
+			ci[j] = v
+			c.Set(j, i, v)
+		}
+	}
+}
+
+// DgemmTN computes C ← alpha·Aᵀ·B + beta·C (A is k×m, B is k×n, C m×n) —
+// the transpose-first variant common in least-squares inner loops.
+func DgemmTN(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Rows != b.Rows || a.Cols != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: dgemmTN shape %dx%dᵀ · %dx%d → %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := range c.Data {
+		c.Data[i] *= beta
+	}
+	for k := 0; k < a.Rows; k++ {
+		ak := a.Row(k)
+		bk := b.Row(k)
+		for i, aki := range ak {
+			ci := c.Row(i)
+			v := alpha * aki
+			for j := range bk {
+				ci[j] += v * bk[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdamax(t *testing.T) {
+	cases := []struct {
+		x    []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{3}, 0},
+		{[]float64{1, -5, 2}, 1},
+		{[]float64{2, -2, 2}, 0}, // ties → lowest index
+		{[]float64{0, 0, 0.1}, 2},
+	}
+	for _, c := range cases {
+		if got := Idamax(c.x); got != c.want {
+			t.Errorf("Idamax(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDasum(t *testing.T) {
+	if got := Dasum([]float64{1, -2, 3}); got != 6 {
+		t.Fatalf("Dasum = %v", got)
+	}
+	if Dasum(nil) != 0 {
+		t.Fatal("Dasum(nil) != 0")
+	}
+}
+
+func TestDrotPreservesNorm(t *testing.T) {
+	f := func(seed uint64, theta float64) bool {
+		if math.IsNaN(theta) || math.IsInf(theta, 0) {
+			return true
+		}
+		c, s := math.Cos(theta), math.Sin(theta)
+		x := NewRandomVector(16, seed)
+		y := NewRandomVector(16, seed+1)
+		before := Dnrm2Sq(x) + Dnrm2Sq(y)
+		Drot(x, y, c, s)
+		after := Dnrm2Sq(x) + Dnrm2Sq(y)
+		return math.Abs(before-after) < 1e-9*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrotgZeroesSecondComponent(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e150 || math.Abs(b) > 1e150 {
+			return true
+		}
+		c, s, r := Drotg(a, b)
+		// Applying the rotation to (a, b) must produce (r, 0).
+		x := []float64{a}
+		y := []float64{b}
+		Drot(x, y, c, s)
+		tol := 1e-9 * (1 + math.Abs(r))
+		return math.Abs(x[0]-r) < tol && math.Abs(y[0]) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrotgEdgeCases(t *testing.T) {
+	if c, s, r := Drotg(0, 0); c != 1 || s != 0 || r != 0 {
+		t.Fatal("Drotg(0,0) wrong")
+	}
+	if c, s, r := Drotg(5, 0); c != 1 || s != 0 || r != 5 {
+		t.Fatal("Drotg(a,0) wrong")
+	}
+	if c, s, r := Drotg(0, 3); c != 0 || s != 1 || r != 3 {
+		t.Fatal("Drotg(0,b) wrong")
+	}
+}
+
+func TestDgerMatchesDgemm(t *testing.T) {
+	x := NewRandomVector(5, 1)
+	y := NewRandomVector(7, 2)
+	a := NewRandomMatrix(5, 7, 3)
+	want := a.Clone()
+
+	// Reference: x·yᵀ as a 5×1 · 1×7 dgemm.
+	xm := NewMatrix(5, 1)
+	copy(xm.Data, x)
+	ym := NewMatrix(1, 7)
+	copy(ym.Data, y)
+	Dgemm(2.5, xm, ym, 1, want)
+
+	Dger(2.5, x, y, a)
+	if !a.Equal(want, 1e-10) {
+		t.Fatal("dger != dgemm rank-1")
+	}
+}
+
+func TestDsymvMatchesGemvOnSymmetric(t *testing.T) {
+	a := NewRandomMatrix(8, 8, 4)
+	// Symmetrize.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < i; j++ {
+			a.Set(j, i, a.At(i, j))
+		}
+	}
+	x := NewRandomVector(8, 5)
+	y1 := NewRandomVector(8, 6)
+	y2 := append([]float64(nil), y1...)
+	Dsymv(1.5, a, x, 0.5, y1)
+	DgemvN(1.5, a, x, 0.5, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatal("dsymv diverged")
+		}
+	}
+}
+
+func TestDsyrSymmetric(t *testing.T) {
+	a := NewMatrix(6, 6)
+	x := NewRandomVector(6, 7)
+	Dsyr(2, x, a)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-12 {
+				t.Fatal("dsyr result not symmetric")
+			}
+			want := 2 * x[i] * x[j]
+			if math.Abs(a.At(i, j)-want) > 1e-12 {
+				t.Fatalf("dsyr (%d,%d) = %v, want %v", i, j, a.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDsyr2kMatchesExplicit(t *testing.T) {
+	a := NewRandomMatrix(6, 4, 8)
+	b := NewRandomMatrix(6, 4, 9)
+	c := NewMatrix(6, 6)
+	Dsyr2k(1.5, a, b, 0, c)
+
+	// Reference: alpha·(A·Bᵀ + B·Aᵀ) via explicit transposes.
+	bt := NewMatrix(4, 6)
+	at := NewMatrix(4, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			bt.Set(j, i, b.At(i, j))
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	ref := NewMatrix(6, 6)
+	Dgemm(1.5, a, bt, 0, ref)
+	Dgemm(1.5, b, at, 1, ref)
+	if !c.Equal(ref, 1e-9) {
+		t.Fatal("dsyr2k != alpha(ABᵀ + BAᵀ)")
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if math.Abs(c.At(i, j)-c.At(j, i)) > 1e-12 {
+				t.Fatal("dsyr2k not symmetric")
+			}
+		}
+	}
+}
+
+func TestDgemmTNMatchesExplicitTranspose(t *testing.T) {
+	a := NewRandomMatrix(5, 3, 10) // k=5, m=3
+	b := NewRandomMatrix(5, 4, 11) // k=5, n=4
+	c := NewRandomMatrix(3, 4, 12)
+	ref := c.Clone()
+
+	at := NewMatrix(3, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	Dgemm(2, at, b, 0.5, ref)
+	DgemmTN(2, a, b, 0.5, c)
+	if !c.Equal(ref, 1e-10) {
+		t.Fatal("dgemmTN diverged from explicit transpose")
+	}
+}
+
+func TestExtraShapePanics(t *testing.T) {
+	fns := []func(){
+		func() { Dger(1, []float64{1}, []float64{1}, NewMatrix(2, 2)) },
+		func() { Dsymv(1, NewMatrix(2, 3), []float64{1, 1, 1}, 0, []float64{1, 1}) },
+		func() { Dsyr(1, []float64{1}, NewMatrix(2, 2)) },
+		func() { Dsyr2k(1, NewMatrix(2, 3), NewMatrix(2, 4), 0, NewMatrix(2, 2)) },
+		func() { DgemmTN(1, NewMatrix(2, 3), NewMatrix(3, 4), 0, NewMatrix(3, 4)) },
+	}
+	for i, fn := range fns {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,142 @@
+package blas
+
+import "fmt"
+
+// Dgemm computes C ← alpha·A·B + beta·C with the classic three-loop form
+// (the reference implementation blocked variants are tested against).
+func Dgemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: dgemm shape %dx%d · %dx%d → %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < c.Rows; i++ {
+		ci := c.Row(i)
+		for j := range ci {
+			ci[j] *= beta
+		}
+		ai := a.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * ai[k]
+			bk := b.Row(k)
+			for j := range ci {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// DgemmBlocked computes C ← alpha·A·B + beta·C with three-level loop
+// blocking so the touched panels fit in cache — the form the paper's
+// BLAS-3 workloads use. blockSize ≤ 0 selects a default of 64.
+func DgemmBlocked(alpha float64, a, b *Matrix, beta float64, c *Matrix, blockSize int) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: dgemm shape %dx%d · %dx%d → %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	bs := blockSize
+	if bs <= 0 {
+		bs = 64
+	}
+	for i := range c.Data {
+		c.Data[i] *= beta
+	}
+	n, m, k := c.Rows, c.Cols, a.Cols
+	for i0 := 0; i0 < n; i0 += bs {
+		i1 := min(i0+bs, n)
+		for k0 := 0; k0 < k; k0 += bs {
+			k1 := min(k0+bs, k)
+			for j0 := 0; j0 < m; j0 += bs {
+				j1 := min(j0+bs, m)
+				for i := i0; i < i1; i++ {
+					ci := c.Row(i)
+					ai := a.Row(i)
+					for kk := k0; kk < k1; kk++ {
+						aik := alpha * ai[kk]
+						bk := b.Row(kk)
+						for j := j0; j < j1; j++ {
+							ci[j] += aik * bk[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dsyrk computes C ← alpha·A·Aᵀ + beta·C, updating the full symmetric
+// result (both triangles).
+func Dsyrk(alpha float64, a *Matrix, beta float64, c *Matrix) {
+	if c.Rows != c.Cols || a.Rows != c.Rows {
+		panic(fmt.Sprintf("blas: dsyrk shape %dx%d → %dx%d", a.Rows, a.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < c.Rows; i++ {
+		ai := a.Row(i)
+		ci := c.Row(i)
+		for j := 0; j <= i; j++ {
+			s := Ddot(ai, a.Row(j))
+			v := alpha*s + beta*ci[j]
+			ci[j] = v
+			c.Set(j, i, v)
+		}
+	}
+}
+
+// DtrmmRU computes B ← B·U for upper-triangular U (right side, upper —
+// the paper's dtrmm(ru) variant). Columns are consumed right-to-left so
+// the update is safely in place.
+func DtrmmRU(b, u *Matrix) {
+	if u.Rows != u.Cols || b.Cols != u.Rows {
+		panic(fmt.Sprintf("blas: dtrmm(ru) shape %dx%d · %dx%d", b.Rows, b.Cols, u.Rows, u.Cols))
+	}
+	for i := 0; i < b.Rows; i++ {
+		bi := b.Row(i)
+		for j := b.Cols - 1; j >= 0; j-- {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += bi[k] * u.At(k, j)
+			}
+			bi[j] = s
+		}
+	}
+}
+
+// DtrsmRU solves X·U = B for upper-triangular U (right side, upper — the
+// paper's dtrsm(ru) variant), overwriting B with X.
+func DtrsmRU(b, u *Matrix) {
+	if u.Rows != u.Cols || b.Cols != u.Rows {
+		panic(fmt.Sprintf("blas: dtrsm(ru) shape %dx%d · %dx%d", b.Rows, b.Cols, u.Rows, u.Cols))
+	}
+	for i := 0; i < b.Rows; i++ {
+		bi := b.Row(i)
+		for j := 0; j < b.Cols; j++ {
+			s := bi[j]
+			for k := 0; k < j; k++ {
+				s -= bi[k] * u.At(k, j)
+			}
+			bi[j] = s / u.At(j, j)
+		}
+	}
+}
+
+// Level3Flops returns the flop count of one level-3 kernel on n×n
+// operands.
+func Level3Flops(kernel string, n int) float64 {
+	fn := float64(n)
+	switch kernel {
+	case "dgemm":
+		return 2 * fn * fn * fn
+	case "dsyrk":
+		return fn * fn * (fn + 1)
+	case "dtrmm", "dtrsm":
+		return fn * fn * fn
+	default:
+		panic("blas: unknown level-3 kernel " + kernel)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

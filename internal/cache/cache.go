@@ -1,0 +1,254 @@
+// Package cache implements a trace-driven, set-associative cache simulator
+// with a configurable multi-level hierarchy (private L1/L2 per core plus a
+// shared last-level cache). It substitutes for the real E5-2420 cache
+// hierarchy the paper measured: the profiler replays load/store address
+// streams through it to measure footprints, working sets, and reuse, and
+// the validation suite uses it to sanity-check the analytic contention
+// model in internal/machine.
+package cache
+
+import (
+	"fmt"
+
+	"rdasched/internal/pp"
+)
+
+// ReplacementPolicy selects the victim line within a set.
+type ReplacementPolicy int
+
+const (
+	// LRU evicts the least recently used line (what the analytic model
+	// assumes and what Intel's LLC approximates).
+	LRU ReplacementPolicy = iota
+	// FIFO evicts the oldest-filled line.
+	FIFO
+	// Random evicts a uniformly random line (needs an RNG; falls back to a
+	// deterministic counter when none is supplied so results stay
+	// reproducible).
+	Random
+)
+
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Size       pp.Bytes
+	LineSize   pp.Bytes
+	Assoc      int // ways per set
+	Policy     ReplacementPolicy
+	LatencyCyc int // access latency in core cycles (hit cost)
+}
+
+// Validate checks geometric consistency: sizes must be powers of two and
+// divide evenly into sets.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	if c.Size%c.LineSize != 0 || lines%pp.Bytes(c.Assoc) != 0 {
+		return fmt.Errorf("cache %s: size %d / line %d / assoc %d does not form whole sets",
+			c.Name, c.Size, c.LineSize, c.Assoc)
+	}
+	// Set counts need not be a power of two: the E5-2420's 15360 KiB
+	// 20-way LLC has 12288 sets. Indexing uses modulo in that case.
+	return nil
+}
+
+// Stats counts accesses for one cache level.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	// stamp orders lines for LRU (last touch) or FIFO (fill time).
+	stamp uint64
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	numSets    uint64
+	lineShift  uint
+	tick       uint64
+	randState  uint64
+	stats      Stats
+	population int // valid lines
+}
+
+// New builds a cache from cfg. It panics on invalid geometry (construction
+// with bad geometry is a programming error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := int64(cfg.Size / cfg.LineSize)
+	numSets := lines / int64(cfg.Assoc)
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]line, numSets),
+		numSets:   uint64(numSets),
+		randState: 0x2545f4914f6cdd1d,
+	}
+	backing := make([]line, lines)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	for sz := cfg.LineSize; sz > 1; sz >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int { return c.population }
+
+// OccupancyBytes returns the bytes currently resident.
+func (c *Cache) OccupancyBytes() pp.Bytes {
+	return pp.Bytes(c.population) * c.cfg.LineSize
+}
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return len(c.sets) * c.cfg.Assoc }
+
+func (c *Cache) indexTag(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineShift
+	return blk % c.numSets, blk / c.numSets
+}
+
+// Access touches addr, returning true on hit. On a miss the line is filled
+// (allocate-on-miss for both loads and stores, matching an inclusive
+// write-allocate hierarchy) and the victim, if any, is evicted.
+func (c *Cache) Access(addr uint64) bool {
+	hit, _ := c.AccessEvict(addr)
+	return hit
+}
+
+// AccessEvict is Access but also reports the evicted line's address (line
+// aligned) when an eviction happened. evictedOK is false on hits and on
+// fills into invalid ways.
+func (c *Cache) AccessEvict(addr uint64) (hit bool, evicted uint64) {
+	c.tick++
+	c.stats.Accesses++
+	setIdx, tag := c.indexTag(addr)
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stats.Hits++
+			if c.cfg.Policy == LRU {
+				set[i].stamp = c.tick
+			}
+			return true, 0
+		}
+	}
+	c.stats.Misses++
+
+	// Prefer an invalid way.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case LRU, FIFO:
+			oldest := uint64(1<<64 - 1)
+			for i := range set {
+				if set[i].stamp < oldest {
+					oldest = set[i].stamp
+					victim = i
+				}
+			}
+		case Random:
+			c.randState ^= c.randState << 13
+			c.randState ^= c.randState >> 7
+			c.randState ^= c.randState << 17
+			victim = int(c.randState % uint64(len(set)))
+		}
+		c.stats.Evictions++
+		evLine := &set[victim]
+		evictedAddr := c.reconstruct(setIdx, evLine.tag)
+		evLine.tag = tag
+		evLine.stamp = c.tick
+		return false, evictedAddr
+	}
+	set[victim] = line{tag: tag, valid: true, stamp: c.tick}
+	c.population++
+	return false, 0
+}
+
+// Probe reports whether addr is resident without updating replacement
+// state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	setIdx, tag := c.indexTag(addr)
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines and (unlike ResetStats) counts nothing.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.population = 0
+}
+
+func (c *Cache) reconstruct(setIdx, tag uint64) uint64 {
+	blk := tag*c.numSets + setIdx
+	return blk << c.lineShift
+}

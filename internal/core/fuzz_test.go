@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdasched/internal/machine"
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+	"rdasched/internal/sim"
+)
+
+// randomWorkload derives an arbitrary-but-valid workload from fuzz input:
+// up to maxProcs processes with 1–4 threads, 1–4 phases each, working
+// sets up to ~2x the LLC, mixed declared/undeclared phases, occasional
+// barriers and task pools.
+func randomWorkload(seed uint64, maxProcs int) proc.Workload {
+	rng := sim.NewRNG(seed)
+	n := 1 + rng.Intn(maxProcs)
+	w := proc.Workload{Name: "fuzz"}
+	for p := 0; p < n; p++ {
+		threads := 1 + rng.Intn(4)
+		phases := 1 + rng.Intn(4)
+		var prog proc.Program
+		for q := 0; q < phases; q++ {
+			ph := proc.Phase{
+				Name:             "ph",
+				Instr:            float64(1+rng.Intn(20)) * 1e5,
+				WSS:              pp.Bytes(1+rng.Intn(30)) * pp.MiB,
+				Reuse:            pp.Reuse(rng.Intn(3)),
+				AccessesPerInstr: 0.1 + 0.4*rng.Float64(),
+				PrivateHitFrac:   0.5 + 0.4*rng.Float64(),
+				StreamFrac:       rng.Float64(),
+				FlopsPerInstr:    rng.Float64(),
+				Declared:         rng.Intn(3) != 0,
+				BarrierAfter:     rng.Intn(4) == 0,
+			}
+			if rng.Intn(8) == 0 {
+				ph.CachePartition = pp.Bytes(1+rng.Intn(4)) * pp.MiB
+			}
+			prog = append(prog, ph)
+		}
+		w.Procs = append(w.Procs, proc.Spec{
+			Name:     "fz",
+			Threads:  threads,
+			Program:  prog,
+			TaskPool: rng.Intn(4) == 0,
+		})
+	}
+	return w
+}
+
+// TestFuzzSchedulerInvariants drives random workloads through the full
+// machine+scheduler stack under every policy and checks the invariants
+// that must hold regardless of input:
+//
+//  1. the run completes (no starvation, no stall, no panic);
+//  2. every opened period closes, and the load table returns to zero;
+//  3. the registry and waitlist drain;
+//  4. under strict, peak load never exceeds capacity except through the
+//     documented empty-load safeguard;
+//  5. instruction totals equal the workload's intrinsic work.
+func TestFuzzSchedulerInvariants(t *testing.T) {
+	policies := []Policy{StrictPolicy{}, NewCompromise(), AlwaysPolicy{}}
+	f := func(seed uint64, polIdx uint8) bool {
+		pol := policies[int(polIdx)%len(policies)]
+		w := randomWorkload(seed, 8)
+
+		cfg := machine.DefaultConfig()
+		cfg.MaxSimTime = 600 * sim.Second
+		s := New(pol, cfg.LLCCapacity)
+		m := machine.New(cfg, s)
+		s.SetWaker(m)
+		if err := m.AddWorkload(w); err != nil {
+			t.Logf("seed %d: invalid workload: %v", seed, err)
+			return false
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Logf("seed %d policy %s: %v", seed, pol.Name(), err)
+			return false
+		}
+		st := s.Stats()
+		if st.Begins != st.Ends {
+			t.Logf("seed %d: %d begins vs %d ends", seed, st.Begins, st.Ends)
+			return false
+		}
+		if s.Resources().Usage(pp.ResourceLLC) != 0 {
+			t.Logf("seed %d: leftover load %v", seed, s.Resources().Usage(pp.ResourceLLC))
+			return false
+		}
+		if s.Waitlisted() != 0 || s.ActivePeriods() != 0 {
+			t.Logf("seed %d: registry not drained", seed)
+			return false
+		}
+		if _, ok := pol.(StrictPolicy); ok && st.Safegrds == 0 {
+			if peak := s.Resources().Peak(pp.ResourceLLC); peak > cfg.LLCCapacity {
+				t.Logf("seed %d: strict peak %v over capacity without safeguard", seed, peak)
+				return false
+			}
+		}
+		// Work conservation: executed instructions equal the program sums
+		// (the boundary overhead is stall, not instructions).
+		var want float64
+		for _, spec := range w.Procs {
+			want += float64(spec.Threads) * spec.Program.TotalInstr()
+		}
+		if diff := res.Counters.Instructions - want; diff < -1 || diff > 1 {
+			t.Logf("seed %d: executed %v instructions, want %v", seed, res.Counters.Instructions, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzDeterminism re-runs random workloads and demands bit-identical
+// results.
+func TestFuzzDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func() machine.Counters {
+			w := randomWorkload(seed, 6)
+			cfg := machine.DefaultConfig()
+			cfg.MaxSimTime = 600 * sim.Second
+			s := New(StrictPolicy{}, cfg.LLCCapacity)
+			m := machine.New(cfg, s)
+			s.SetWaker(m)
+			if err := m.AddWorkload(w); err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Counters
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/sim"
+)
+
+// Decision log: an optional bounded trace of every admission decision the
+// scheduler makes, for debugging schedules and for the observability a
+// production scheduler extension would expose (the kernel prototype's
+// equivalent would be a tracepoint). Disabled by default; EnableLog turns
+// it on with a fixed capacity ring.
+
+// EventKind classifies a logged scheduling decision.
+type EventKind int
+
+const (
+	// EventBegin: a period was opened (first thread arrived).
+	EventBegin EventKind = iota
+	// EventAdmit: the predicate admitted the period.
+	EventAdmit
+	// EventDeny: the predicate waitlisted the period.
+	EventDeny
+	// EventWake: a waitlisted period was admitted after a release.
+	EventWake
+	// EventEnd: the period completed and released its demands.
+	EventEnd
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventBegin:
+		return "begin"
+	case EventAdmit:
+		return "admit"
+	case EventDeny:
+		return "deny"
+	case EventWake:
+		return "wake"
+	case EventEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one logged decision.
+type Event struct {
+	At    sim.Time
+	Kind  EventKind
+	Proc  int
+	Phase int
+	// Demand is the period's primary (LLC) demand.
+	Demand pp.Demand
+	// Load is the LLC load *after* the decision took effect.
+	Load pp.Bytes
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v %-5s proc=%d phase=%d demand=%v load=%v",
+		e.At, e.Kind, e.Proc, e.Phase, e.Demand.WorkingSet, e.Load)
+}
+
+// Clock supplies timestamps for the decision log; machine.Machine's Now
+// method satisfies it. Without a clock, events are stamped zero.
+type Clock func() sim.Time
+
+// SetClock binds the timestamp source (typically machine.Now).
+func (s *Scheduler) SetClock(c Clock) { s.clock = c }
+
+// EnableLog starts recording decisions into a ring of the given capacity;
+// n <= 0 disables logging.
+func (s *Scheduler) EnableLog(n int) {
+	if n <= 0 {
+		s.log = nil
+		s.logCap = 0
+		return
+	}
+	s.log = make([]Event, 0, n)
+	s.logCap = n
+	s.logDrop = 0
+}
+
+// Events returns the recorded decisions in order (oldest first) and the
+// number of events dropped once the ring filled.
+func (s *Scheduler) Events() ([]Event, uint64) {
+	out := make([]Event, len(s.log))
+	if s.logStart == 0 {
+		copy(out, s.log)
+	} else {
+		n := copy(out, s.log[s.logStart:])
+		copy(out[n:], s.log[:s.logStart])
+	}
+	return out, s.logDrop
+}
+
+func (s *Scheduler) logEvent(kind EventKind, key periodKey, d pp.Demand) {
+	if s.logCap == 0 {
+		return
+	}
+	var at sim.Time
+	if s.clock != nil {
+		at = s.clock()
+	}
+	e := Event{
+		At: at, Kind: kind, Proc: key.procID, Phase: key.phaseIdx,
+		Demand: d, Load: s.rm.Usage(pp.ResourceLLC),
+	}
+	if len(s.log) < s.logCap {
+		s.log = append(s.log, e)
+		return
+	}
+	// Ring: overwrite the oldest.
+	s.log[s.logStart] = e
+	s.logStart = (s.logStart + 1) % s.logCap
+	s.logDrop++
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"rdasched/internal/pp"
+)
+
+// ResourceMonitor is the resource monitor of §3.2: it "maintains a
+// real-time estimation by saving the resource demands of all active
+// progress periods" in a table with one entry per tracked resource, kept
+// current as periods begin and end.
+type ResourceMonitor struct {
+	capacity [pp.NumResources]pp.Bytes
+	usage    [pp.NumResources]pp.Bytes
+	peak     [pp.NumResources]pp.Bytes
+}
+
+// NewResourceMonitor returns a monitor with the given LLC capacity and
+// unlimited other resources (a zero capacity entry is treated as
+// untracked).
+func NewResourceMonitor(llc pp.Bytes) *ResourceMonitor {
+	rm := &ResourceMonitor{}
+	rm.capacity[pp.ResourceLLC] = llc
+	return rm
+}
+
+// SetCapacity configures a resource's maximum.
+func (rm *ResourceMonitor) SetCapacity(r pp.Resource, c pp.Bytes) {
+	if !r.Valid() {
+		panic(fmt.Sprintf("core: set capacity of invalid resource %d", int(r)))
+	}
+	rm.capacity[r] = c
+}
+
+// Capacity returns a resource's maximum.
+func (rm *ResourceMonitor) Capacity(r pp.Resource) pp.Bytes { return rm.capacity[r] }
+
+// Usage returns the current load estimation for a resource.
+func (rm *ResourceMonitor) Usage(r pp.Resource) pp.Bytes { return rm.usage[r] }
+
+// Peak returns the maximum load ever recorded for a resource.
+func (rm *ResourceMonitor) Peak(r pp.Resource) pp.Bytes { return rm.peak[r] }
+
+// Remaining returns capacity - usage (may be negative when a policy
+// allowed oversubscription).
+func (rm *ResourceMonitor) Remaining(r pp.Resource) pp.Bytes {
+	return rm.capacity[r] - rm.usage[r]
+}
+
+// Increment adds a period's demand to the load table.
+func (rm *ResourceMonitor) Increment(d pp.Demand) {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	rm.usage[d.Resource] += d.WorkingSet
+	if rm.usage[d.Resource] > rm.peak[d.Resource] {
+		rm.peak[d.Resource] = rm.usage[d.Resource]
+	}
+}
+
+// Decrement removes a completed period's demand. It panics if the load
+// would go negative — that always indicates an accounting bug (an End
+// without a Begin), never a legitimate runtime state.
+func (rm *ResourceMonitor) Decrement(d pp.Demand) {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	if rm.usage[d.Resource] < d.WorkingSet {
+		panic(fmt.Sprintf("core: load underflow on %s: %s - %s",
+			d.Resource, rm.usage[d.Resource], d.WorkingSet))
+	}
+	rm.usage[d.Resource] -= d.WorkingSet
+}
+
+func (rm *ResourceMonitor) String() string {
+	return fmt.Sprintf("LLC %s/%s", rm.usage[pp.ResourceLLC], rm.capacity[pp.ResourceLLC])
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"rdasched/internal/machine"
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+	"rdasched/internal/sched"
+)
+
+// Waker resumes threads the scheduler paused. internal/machine's Machine
+// satisfies it.
+type Waker interface {
+	Unblock(*machine.Thread)
+}
+
+// Stats counts scheduler activity for reports and tests.
+type Stats struct {
+	Begins   uint64 // periods opened (first thread in)
+	Ends     uint64 // periods closed (last thread out)
+	Admitted uint64 // periods admitted immediately
+	Denied   uint64 // periods waitlisted at least once
+	Woken    uint64 // threads resumed from the waitlist
+	Safegrds uint64 // periods admitted by the empty-load safeguard
+}
+
+// periodKey identifies a progress period instance: one process entering
+// one declared phase. Threads of the process share the period (they share
+// the phase's working set), which is how the paper's multi-threaded
+// SPLASH-2 applications register one demand per program phase.
+type periodKey struct {
+	procID   int
+	phaseIdx int
+}
+
+// period is a registry entry: an active or pending progress period.
+type period struct {
+	id       pp.ID
+	key      periodKey
+	demands  []pp.Demand // LLC occupancy, plus optional extra resources
+	taskPool bool
+	admitted bool
+	refs     int // threads currently executing inside the period
+	waiters  []*machine.Thread
+}
+
+// Scheduler is the RDA scheduling extension. It implements machine.Gate:
+// the machine consults it whenever a thread enters or exits a declared
+// phase, which is the simulation image of the pp_begin/pp_end API calls.
+//
+// Processes that never declare phases bypass it entirely ("our system
+// ignores processes that have not provided progress period information").
+type Scheduler struct {
+	policy Policy
+	rm     *ResourceMonitor
+	waker  Waker
+
+	nextID   pp.ID
+	active   map[periodKey]*period
+	byID     map[pp.ID]*period
+	waitlist sched.WaitQueue[*period]
+	parked   map[int]bool // task-pool processes currently disabled (§3.4)
+	reserve  pp.Bytes     // §6 extension: capacity withheld from admission
+	stats    Stats
+
+	// Decision log (see log.go).
+	clock    Clock
+	log      []Event
+	logCap   int
+	logStart int
+	logDrop  uint64
+}
+
+// New builds a scheduler over the given policy and LLC capacity. The
+// waker is bound later (SetWaker) because the machine is constructed with
+// the gate as an argument.
+func New(policy Policy, llcCapacity pp.Bytes) *Scheduler {
+	if policy == nil {
+		policy = AlwaysPolicy{}
+	}
+	return &Scheduler{
+		policy: policy,
+		rm:     NewResourceMonitor(llcCapacity),
+		active: make(map[periodKey]*period),
+		byID:   make(map[pp.ID]*period),
+		parked: make(map[int]bool),
+	}
+}
+
+// SetWaker binds the machine (or any Waker) used to resume paused
+// threads.
+func (s *Scheduler) SetWaker(w Waker) { s.waker = w }
+
+// SetReserve withholds part of the LLC from admission decisions — the
+// second extension in the paper's future work (§6): when LLC-intensive
+// programs that declare no progress periods run alongside instrumented
+// ones, the resource monitor cannot see their footprint, so a reservation
+// leaves them headroom instead of letting admitted periods plan on cache
+// they will not actually get. It panics on negative or over-capacity
+// reservations (configuration error).
+func (s *Scheduler) SetReserve(b pp.Bytes) {
+	if b < 0 || b > s.rm.Capacity(pp.ResourceLLC) {
+		panic(fmt.Sprintf("core: reserve %v outside [0, capacity]", b))
+	}
+	s.reserve = b
+}
+
+// Reserve returns the configured unmanaged-workload reservation.
+func (s *Scheduler) Reserve() pp.Bytes { return s.reserve }
+
+// Policy returns the configured policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Resources returns the resource monitor (read access for reports).
+func (s *Scheduler) Resources() *ResourceMonitor { return s.rm }
+
+// Stats returns a copy of the activity counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Waitlisted returns the number of periods currently waiting.
+func (s *Scheduler) Waitlisted() int { return s.waitlist.Len() }
+
+// ActivePeriods returns the number of admitted periods.
+func (s *Scheduler) ActivePeriods() int {
+	n := 0
+	for _, p := range s.active {
+		if p.admitted {
+			n++
+		}
+	}
+	return n
+}
+
+// TrySchedule is Algorithm 1: given the demand of a period about to
+// start, compute the space that would remain and ask the policy. The
+// load-zero safeguard admits a period whose demand alone exceeds the
+// policy limit when nothing else is running — without it such a period
+// would wait forever (a deviation documented in DESIGN.md; the paper's
+// workloads keep every working set under the LLC capacity, so it never
+// fires there).
+func (s *Scheduler) TrySchedule(d pp.Demand) (runnable, safeguard bool) {
+	r := d.Resource
+	capacity := s.rm.Capacity(r)
+	if r == pp.ResourceLLC {
+		capacity -= s.reserve
+	}
+	remaining := capacity - s.rm.Usage(r)
+	outcome := remaining - d.WorkingSet
+	if s.policy.Allows(outcome, capacity) {
+		return true, false
+	}
+	if s.rm.Usage(r) == 0 {
+		return true, true
+	}
+	return false, false
+}
+
+// tryScheduleAll runs Algorithm 1 for every demand a period declares: the
+// period runs only when all targeted resources admit it. The safeguard
+// applies per resource (an idle resource never blocks a lone period).
+func (s *Scheduler) tryScheduleAll(ds []pp.Demand) (runnable, safeguard bool) {
+	for _, d := range ds {
+		run, sg := s.TrySchedule(d)
+		if !run {
+			return false, false
+		}
+		safeguard = safeguard || sg
+	}
+	return true, safeguard
+}
+
+// EnterPhase implements machine.Gate for a declared phase: the simulation
+// image of pp_begin. The first thread of a process to arrive opens the
+// period and runs Algorithm 1; siblings join an already-admitted period
+// for free (the demand is per process-phase, counted once).
+func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) bool {
+	key := periodKey{t.Process().ID(), phaseIdx}
+	per := s.active[key]
+	if per == nil {
+		per = &period{
+			key:      key,
+			demands:  ph.Demands(),
+			taskPool: t.Process().Spec().TaskPool,
+		}
+		s.nextID++
+		per.id = s.nextID
+		s.active[key] = per
+		s.byID[per.id] = per
+		s.stats.Begins++
+		s.logEvent(EventBegin, key, per.demands[0])
+
+		if s.parked[key.procID] {
+			// §3.4: the whole pool is disabled until resources free up.
+			s.deny(per, t)
+			return false
+		}
+		runnable, safeguard := s.tryScheduleAll(per.demands)
+		if !runnable {
+			s.deny(per, t)
+			return false
+		}
+		if safeguard {
+			s.stats.Safegrds++
+		}
+		s.admit(per)
+		s.logEvent(EventAdmit, key, per.demands[0])
+		per.refs = 1
+		return true
+	}
+	if per.admitted {
+		per.refs++
+		return true
+	}
+	per.waiters = append(per.waiters, t)
+	return false
+}
+
+// ExitPhase implements machine.Gate: the simulation image of pp_end. The
+// last thread out closes the period, releases its demand, and rescans the
+// waitlist — "processes that are paused ... may be rescheduled later when
+// another progress period completes and releases sufficient resources".
+func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
+	key := periodKey{t.Process().ID(), phaseIdx}
+	per := s.active[key]
+	if per == nil || !per.admitted {
+		panic(fmt.Sprintf("core: ExitPhase without active period (proc %d phase %d)", key.procID, phaseIdx))
+	}
+	per.refs--
+	if per.refs > 0 {
+		return
+	}
+	delete(s.active, key)
+	delete(s.byID, per.id)
+	for _, d := range per.demands {
+		s.rm.Decrement(d)
+	}
+	s.stats.Ends++
+	s.logEvent(EventEnd, key, per.demands[0])
+	s.wakeWaitlist()
+}
+
+// wakeWaitlist admits pending periods in FIFO order while the policy
+// allows, waking their blocked threads. Admission (the load increment)
+// happens inside the scan so that each candidate is judged against the
+// load *including* the periods just admitted before it.
+func (s *Scheduler) wakeWaitlist() {
+	woken := s.waitlist.WakeAll(func(per *period) bool {
+		runnable, safeguard := s.tryScheduleAll(per.demands)
+		if !runnable {
+			return false
+		}
+		if safeguard {
+			s.stats.Safegrds++
+		}
+		s.admit(per)
+		s.logEvent(EventWake, per.key, per.demands[0])
+		return true
+	})
+	for _, per := range woken {
+		delete(s.parked, per.key.procID)
+		per.refs = len(per.waiters)
+		ws := per.waiters
+		per.waiters = nil
+		for _, t := range ws {
+			s.stats.Woken++
+			s.waker.Unblock(t)
+		}
+	}
+}
+
+func (s *Scheduler) admit(per *period) {
+	for _, d := range per.demands {
+		s.rm.Increment(d)
+	}
+	per.admitted = true
+	s.stats.Admitted++
+}
+
+func (s *Scheduler) deny(per *period, t *machine.Thread) {
+	per.waiters = append(per.waiters, t)
+	s.waitlist.Enqueue(per)
+	s.stats.Denied++
+	s.logEvent(EventDeny, per.key, per.demands[0])
+	if per.taskPool {
+		s.parked[per.key.procID] = true
+	}
+}
+
+// Lookup returns the primary (LLC) demand registered under a period ID
+// (introspection for tests and the profiler round-trip).
+func (s *Scheduler) Lookup(id pp.ID) (pp.Demand, bool) {
+	per, ok := s.byID[id]
+	if !ok {
+		return pp.Demand{}, false
+	}
+	return per.demands[0], true
+}

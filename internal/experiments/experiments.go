@@ -1,0 +1,182 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§4), built on the workload definitions, the
+// machine model, the RDA scheduler, the profiler, and the regression
+// toolkit. cmd/experiments and the repository benchmarks are thin
+// wrappers around this package; EXPERIMENTS.md records the outputs next
+// to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/perf"
+	"rdasched/internal/proc"
+	"rdasched/internal/report"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Machine is the hardware model; zero value selects Table 1.
+	Machine machine.Config
+	// Repetitions per measurement (the paper uses 4).
+	Repetitions int
+	// JitterFrac is the run-to-run variation (the paper observes ~2%).
+	JitterFrac float64
+	// Seed fixes all randomness.
+	Seed uint64
+	// Scale shrinks workloads for quick runs: process counts and phase
+	// lengths are multiplied by Scale (0 or 1 = full size). Scaled runs
+	// preserve shapes, not magnitudes; the committed EXPERIMENTS.md uses
+	// full size.
+	Scale float64
+}
+
+// Defaults returns the paper's measurement setup: Table 1 machine, four
+// repetitions, 2% jitter.
+func Defaults() Options {
+	return Options{
+		Machine:     machine.DefaultConfig(),
+		Repetitions: 4,
+		JitterFrac:  0.02,
+		Seed:        1,
+	}
+}
+
+func (o Options) normalized() Options {
+	if o.Machine.Cores == 0 {
+		o.Machine = machine.DefaultConfig()
+	}
+	if o.Repetitions <= 0 {
+		o.Repetitions = 1
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaleWorkload shrinks a workload's per-phase instruction counts. The
+// process count, thread counts, working sets, and phase structure are
+// preserved — those define the contention the experiments measure;
+// shorter phases only shorten virtual time.
+func scaleWorkload(w proc.Workload, scale float64) proc.Workload {
+	if scale >= 1 {
+		return w
+	}
+	return proc.ScaleInstr(w, scale)
+}
+
+// Policies returns the three compared scheduling configurations in
+// figure order: the Linux default, RDA:Strict, RDA:Compromise.
+func Policies() []struct {
+	Name   string
+	Policy core.Policy
+} {
+	return []struct {
+		Name   string
+		Policy core.Policy
+	}{
+		{"default", nil},
+		{"strict", core.StrictPolicy{}},
+		{"compromise", core.NewCompromise()},
+	}
+}
+
+// PolicyRow is one (workload, policy) measurement.
+type PolicyRow struct {
+	Workload string
+	Policy   string
+	Mean     perf.Metrics
+	StdDev   perf.Metrics
+}
+
+// RunPolicyComparison measures the given workloads under all three
+// policies — the data behind Figures 7, 8, 9, and 10.
+func RunPolicyComparison(ws []proc.Workload, opt Options) ([]PolicyRow, error) {
+	opt = opt.normalized()
+	var rows []PolicyRow
+	for _, w := range ws {
+		sw := scaleWorkload(w, opt.Scale)
+		for _, p := range Policies() {
+			mean, sd, err := perf.Run(sw, perf.RunConfig{
+				Machine:     opt.Machine,
+				Policy:      p.Policy,
+				Repetitions: opt.Repetitions,
+				JitterFrac:  opt.JitterFrac,
+				Seed:        opt.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, p.Name, err)
+			}
+			rows = append(rows, PolicyRow{Workload: w.Name, Policy: p.Name, Mean: mean, StdDev: sd})
+		}
+	}
+	return rows, nil
+}
+
+// metricOf extracts a named figure metric from a measurement.
+func metricOf(m perf.Metrics, metric string) (float64, error) {
+	switch metric {
+	case "system-energy":
+		return m.SystemJ, nil
+	case "dram-energy":
+		return m.DRAMJ, nil
+	case "gflops":
+		return m.GFLOPS, nil
+	case "gflops-per-watt":
+		return m.GFLOPSPerWatt, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown metric %q", metric)
+	}
+}
+
+// figureSpec ties each policy-comparison figure to its metric.
+var figureSpec = map[int]struct {
+	Metric string
+	Title  string
+}{
+	7:  {"system-energy", "Figure 7: system energy (J) — CPU + cache + DRAM"},
+	8:  {"dram-energy", "Figure 8: DRAM-only energy (J)"},
+	9:  {"gflops", "Figure 9: performance (GFLOPS)"},
+	10: {"gflops-per-watt", "Figure 10: system energy efficiency (GFLOPS/Watt)"},
+}
+
+// FigureTable renders one of Figures 7–10 from comparison rows.
+func FigureTable(fig int, rows []PolicyRow) (*report.Table, error) {
+	spec, ok := figureSpec[fig]
+	if !ok {
+		return nil, fmt.Errorf("experiments: figure %d is not a policy-comparison figure", fig)
+	}
+	t := report.NewTable(spec.Title, "workload", "default", "strict", "compromise",
+		"strict/default", "compromise/default")
+	byWorkload := map[string]map[string]float64{}
+	var order []string
+	for _, r := range rows {
+		if byWorkload[r.Workload] == nil {
+			byWorkload[r.Workload] = map[string]float64{}
+			order = append(order, r.Workload)
+		}
+		v, err := metricOf(r.Mean, spec.Metric)
+		if err != nil {
+			return nil, err
+		}
+		byWorkload[r.Workload][r.Policy] = v
+	}
+	for _, w := range order {
+		m := byWorkload[w]
+		ratio := func(p string) string {
+			if m["default"] == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", m[p]/m["default"])
+		}
+		t.AddRow(w,
+			fmt.Sprintf("%.4g", m["default"]),
+			fmt.Sprintf("%.4g", m["strict"]),
+			fmt.Sprintf("%.4g", m["compromise"]),
+			ratio("strict"), ratio("compromise"))
+	}
+	return t, nil
+}

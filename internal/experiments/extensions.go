@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rdasched/internal/core"
+	"rdasched/internal/perf"
+	"rdasched/internal/pp"
+	"rdasched/internal/report"
+	"rdasched/internal/workloads"
+)
+
+// Extension experiments: the paper's §6 future work, implemented and
+// measured. E1 evaluates cache partitioning for streaming applications
+// whose working sets exceed the LLC; E2 evaluates reserving capacity for
+// LLC-intensive applications that declare no progress periods.
+
+// ExtensionRow is one measured variant of an extension experiment.
+type ExtensionRow struct {
+	Variant string
+	Mean    perf.Metrics
+}
+
+// ExtensionResult is an extension experiment's dataset.
+type ExtensionResult struct {
+	Name string
+	Rows []ExtensionRow
+}
+
+// Table renders the result.
+func (r *ExtensionResult) Table() *report.Table {
+	t := report.NewTable(r.Name,
+		"variant", "system J", "DRAM J", "GFLOPS", "GFLOPS/W", "seconds", "busy")
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant,
+			fmt.Sprintf("%.1f", row.Mean.SystemJ),
+			fmt.Sprintf("%.1f", row.Mean.DRAMJ),
+			fmt.Sprintf("%.3f", row.Mean.GFLOPS),
+			fmt.Sprintf("%.4f", row.Mean.GFLOPSPerWatt),
+			fmt.Sprintf("%.2f", row.Mean.ElapsedSec),
+			fmt.Sprintf("%.1f", row.Mean.AvgBusyCores))
+	}
+	return t
+}
+
+// RunPartitioning measures E1: six 24 MB streaming processes plus sixteen
+// 2.4 MB dgemms under the strict policy, with and without fencing the
+// streamers into 0.5 MB cache partitions. Without partitions a 24 MB
+// demand only ever enters through the empty-load safeguard and then
+// starves everything else; with partitions the streamers are charged (and
+// physically confined to) half a megabyte each and the mix runs
+// concurrently — the paper's §6 rationale: "it would fetch most data from
+// main memory regardless".
+func RunPartitioning(opt Options) (*ExtensionResult, error) {
+	opt = opt.normalized()
+	res := &ExtensionResult{Name: "Extension E1: cache partitioning for over-LLC streaming apps (strict policy)"}
+	variants := []struct {
+		name      string
+		partition pp.Bytes
+	}{
+		{"unpartitioned", 0},
+		{"0.5MB partition", pp.MB(0.5)},
+	}
+	for _, v := range variants {
+		w := scaleWorkload(workloads.StreamingMix(v.partition), opt.Scale)
+		mean, _, err := perf.Run(w, perf.RunConfig{
+			Machine:     opt.Machine,
+			Policy:      core.StrictPolicy{},
+			Repetitions: opt.Repetitions,
+			JitterFrac:  opt.JitterFrac,
+			Seed:        opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E1 %s: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: mean})
+	}
+	return res, nil
+}
+
+// RunReserve measures E2: twenty-four instrumented dgemms co-running with
+// two uninstrumented LLC hogs the resource monitor cannot see, with and
+// without reserving part of the LLC for the unmanaged load. The
+// reservation stops the predicate from admitting periods against cache
+// the hogs already occupy; whether that pays depends on how much
+// concurrency it costs — the table reports the measured trade.
+func RunReserve(opt Options) (*ExtensionResult, error) {
+	opt = opt.normalized()
+	res := &ExtensionResult{Name: "Extension E2: reserving LLC for unmanaged co-runners (strict policy)"}
+	variants := []struct {
+		name    string
+		reserve pp.Bytes
+	}{
+		{"no reserve", 0},
+		{"5MB reserve", pp.MB(5)},
+	}
+	w := scaleWorkload(workloads.UnmanagedMix(), opt.Scale)
+	for _, v := range variants {
+		mean, _, err := perf.Run(w, perf.RunConfig{
+			Machine:     opt.Machine,
+			Policy:      core.StrictPolicy{},
+			Reserve:     v.reserve,
+			Repetitions: opt.Repetitions,
+			JitterFrac:  opt.JitterFrac,
+			Seed:        opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E2 %s: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: mean})
+	}
+	return res, nil
+}
+
+// RunBandwidth measures E3: twenty-four pure streamers under the strict
+// policy, with and without declaring their DRAM bandwidth demands as a
+// second tracked resource. Without the declarations every streamer is
+// admitted (0.6 MB LLC demands are trivially satisfiable) and twelve
+// cores burn power waiting on a saturated memory bus; with them, the
+// predicate caps concurrency at the roofline.
+func RunBandwidth(opt Options) (*ExtensionResult, error) {
+	opt = opt.normalized()
+	res := &ExtensionResult{Name: "Extension E3: bandwidth-aware admission for streaming mixes (strict policy)"}
+	for _, v := range []struct {
+		name    string
+		declare bool
+	}{
+		{"LLC demands only", false},
+		{"LLC + bandwidth demands", true},
+	} {
+		w := scaleWorkload(workloads.BandwidthMix(v.declare), opt.Scale)
+		mean, _, err := perf.Run(w, perf.RunConfig{
+			Machine:     opt.Machine,
+			Policy:      core.StrictPolicy{},
+			Repetitions: opt.Repetitions,
+			JitterFrac:  opt.JitterFrac,
+			Seed:        opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E3 %s: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: mean})
+	}
+	return res, nil
+}

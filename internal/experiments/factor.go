@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rdasched/internal/core"
+	"rdasched/internal/perf"
+	"rdasched/internal/proc"
+	"rdasched/internal/report"
+	"rdasched/internal/workloads"
+)
+
+// Oversubscription-factor sweep: the paper fixes the compromise policy's
+// factor at 2, "shown to be effective in attaining the best balance
+// between energy efficiency and performance", without publishing the
+// sweep. RunFactorSweep reproduces that tuning study across the
+// high-reuse workloads where the choice matters.
+
+// FactorPoint is one (workload, factor) measurement.
+type FactorPoint struct {
+	Workload string
+	Factor   float64
+	Mean     perf.Metrics
+}
+
+// FactorSweepResult is the sweep dataset.
+type FactorSweepResult struct {
+	Factors []float64
+	Points  []FactorPoint
+}
+
+// FactorSweepValues are the swept oversubscription factors; 1.0 is
+// equivalent to strict.
+var FactorSweepValues = []float64{1.0, 1.5, 2.0, 3.0, 4.0}
+
+// RunFactorSweep measures the compromise policy at each factor on the
+// BLAS-3 and water_nsquared workloads.
+func RunFactorSweep(opt Options) (*FactorSweepResult, error) {
+	opt = opt.normalized()
+	res := &FactorSweepResult{Factors: FactorSweepValues}
+	for _, w := range []proc.Workload{workloads.BLAS3(), workloads.WaterNsq()} {
+		sw := scaleWorkload(w, opt.Scale)
+		for _, x := range FactorSweepValues {
+			mean, _, err := perf.Run(sw, perf.RunConfig{
+				Machine:     opt.Machine,
+				Policy:      core.CompromisePolicy{Factor: x},
+				Repetitions: opt.Repetitions,
+				JitterFrac:  opt.JitterFrac,
+				Seed:        opt.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: factor sweep %s x=%v: %w", w.Name, x, err)
+			}
+			res.Points = append(res.Points, FactorPoint{Workload: w.Name, Factor: x, Mean: mean})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *FactorSweepResult) Table() *report.Table {
+	t := report.NewTable("Oversubscription factor sweep (compromise policy; x=1 ≡ strict)",
+		"workload", "factor", "system J", "GFLOPS", "GFLOPS/W")
+	for _, p := range r.Points {
+		t.AddRow(p.Workload,
+			fmt.Sprintf("%.2f", p.Factor),
+			fmt.Sprintf("%.1f", p.Mean.SystemJ),
+			fmt.Sprintf("%.3f", p.Mean.GFLOPS),
+			fmt.Sprintf("%.4f", p.Mean.GFLOPSPerWatt))
+	}
+	return t
+}
+
+// Best returns the factor with the highest efficiency for a workload.
+func (r *FactorSweepResult) Best(workload string) (factor, gfpw float64) {
+	for _, p := range r.Points {
+		if p.Workload == workload && p.Mean.GFLOPSPerWatt > gfpw {
+			factor, gfpw = p.Factor, p.Mean.GFLOPSPerWatt
+		}
+	}
+	return
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"math"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+// contentionState captures the shared-cache situation at one instant.
+type contentionState struct {
+	// PressureBytes is the total working-set demand of the active set:
+	// one contribution per (process, phase) group of ready threads,
+	// because threads of a process share their phase's data.
+	PressureBytes pp.Bytes
+	// Residency is min(1, capacity/pressure): the fraction of each
+	// working set that stays resident under symmetric LRU sharing.
+	Residency float64
+	// Groups is the number of distinct (process, phase) groups.
+	Groups int
+}
+
+// contention computes the current LLC pressure from all Ready threads.
+func (m *Machine) contention() contentionState {
+	type key struct{ proc, phase int }
+	seen := make(map[key]struct{}, len(m.procs))
+	var pressure pp.Bytes
+	for _, t := range m.threads {
+		if t.state != Ready {
+			continue
+		}
+		k := key{t.proc.id, t.phase}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		// Partitioned phases press on the shared pool only up to their
+		// partition (§6 extension: a fenced streaming app cannot evict
+		// its neighbours beyond its allotment).
+		pressure += t.CurrentPhase().OccupancyBytes()
+	}
+	st := contentionState{PressureBytes: pressure, Groups: len(seen), Residency: 1}
+	if pressure > m.cfg.LLCCapacity {
+		st.Residency = float64(m.cfg.LLCCapacity) / float64(pressure)
+	}
+	return st
+}
+
+// phasePerf is the per-instruction performance decomposition of one phase
+// under a given contention state.
+type perfParams struct {
+	cpi          float64
+	llcPerInstr  float64 // accesses reaching the shared LLC per instruction
+	dramPerInstr float64 // accesses continuing to DRAM per instruction
+	llcHitRate   float64
+}
+
+// phasePerf evaluates the CPI model of DESIGN.md §5:
+//
+//	CPI = base
+//	    + api·p_priv·c_priv
+//	    + api·(1-p_priv)·(1-MLP)·(h·c_llc + (1-h)·c_dram)
+//
+// where h = (1-StreamFrac)·HMax(reuse)·residency^γ: streaming accesses
+// never hit the LLC; resident-set accesses hit in proportion to how much
+// of the working set survives contention, sharpened by the LRU
+// over-capacity cliff (γ = Config.ResidencyExponent).
+func (m *Machine) phasePerf(ph *proc.Phase, ctn contentionState) perfParams {
+	api := ph.AccessesPerInstr
+	llcPerInstr := api * (1 - ph.PrivateHitFrac)
+	// A partitioned phase keeps at most partition/WSS of its set
+	// resident, however empty the shared pool is.
+	resid := math.Pow(ctn.Residency, m.cfg.ResidencyExponent)
+	if ph.CachePartition > 0 && ph.WSS > 0 {
+		if own := float64(ph.OccupancyBytes()) / float64(ph.WSS); own < resid {
+			resid = own
+		}
+	}
+	h := (1 - ph.StreamFrac) * m.cfg.HMax[ph.Reuse] * resid
+	exposed := 1 - m.cfg.MLPOverlap
+	cpi := m.cfg.BaseCPI +
+		api*ph.PrivateHitFrac*m.cfg.PrivateHitCycles +
+		llcPerInstr*exposed*(h*m.cfg.LLCHitCycles+(1-h)*m.cfg.DRAMCycles)
+	return perfParams{
+		cpi:          cpi,
+		llcPerInstr:  llcPerInstr,
+		dramPerInstr: llcPerInstr * (1 - h),
+		llcHitRate:   h,
+	}
+}

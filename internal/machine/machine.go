@@ -1,0 +1,662 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"rdasched/internal/energy"
+	"rdasched/internal/proc"
+	"rdasched/internal/sim"
+)
+
+// State is a thread's scheduling state.
+type State int
+
+const (
+	// Ready threads are runnable and share the cores.
+	Ready State = iota
+	// Blocked threads were paused by the Gate at a period boundary.
+	Blocked
+	// Waking threads have been released but are still inside the wake
+	// latency window.
+	Waking
+	// BarrierWait threads finished a BarrierAfter phase and wait for
+	// their siblings.
+	BarrierWait
+	// Done threads finished their program.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Waking:
+		return "waking"
+	case BarrierWait:
+		return "barrier"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Thread is the runtime state of one simulated thread.
+type Thread struct {
+	id        int
+	proc      *Process
+	idxInProc int
+	phase     int
+	remaining float64 // instructions left in current phase (incl. overhead)
+	penalty   float64 // stall instruction-equivalents (wake refill); drains
+	// before remaining and yields no flops or memory traffic — the
+	// traffic was already counted when the penalty was charged.
+	state State
+
+	// Cached per-interval model outputs (valid between reschedules).
+	rate          float64 // instructions/second
+	share         float64 // core share in [0,1] (weighted fair)
+	llcPerInstr   float64
+	dramPerInstr  float64
+	flopsPerInstr float64
+
+	instructions float64
+	flops        float64
+}
+
+// ID returns the machine-wide thread id.
+func (t *Thread) ID() int { return t.id }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// PhaseIndex returns the index of the thread's current phase.
+func (t *Thread) PhaseIndex() int { return t.phase }
+
+// State returns the scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// CurrentPhase returns the phase the thread is in, or nil when done.
+func (t *Thread) CurrentPhase() *proc.Phase {
+	if t.phase >= len(t.proc.spec.Program) {
+		return nil
+	}
+	return &t.proc.spec.Program[t.phase]
+}
+
+// Process is the runtime state of one simulated process.
+type Process struct {
+	id       int
+	spec     proc.Spec
+	threads  []*Thread
+	barriers map[int]int // phase index → arrivals
+	done     int
+	finish   sim.Time
+}
+
+// ID returns the machine-wide process id.
+func (p *Process) ID() int { return p.id }
+
+// Name returns the spec name.
+func (p *Process) Name() string { return p.spec.Name }
+
+// Spec returns the process description.
+func (p *Process) Spec() proc.Spec { return p.spec }
+
+// NumThreads returns the thread count.
+func (p *Process) NumThreads() int { return len(p.threads) }
+
+// Finished reports whether all threads completed, and when.
+func (p *Process) Finished() (sim.Time, bool) {
+	return p.finish, p.done == len(p.threads)
+}
+
+// Gate is the hook through which a scheduling extension intercepts
+// declared phases (progress periods). EnterPhase returning false pauses
+// the thread; the gate must later call Machine.Unblock to resume it.
+// Undeclared phases never reach the gate — the paper's extension "ignores
+// processes that have not provided progress period information".
+type Gate interface {
+	EnterPhase(t *Thread, phaseIdx int, ph *proc.Phase) bool
+	ExitPhase(t *Thread, phaseIdx int, ph *proc.Phase)
+}
+
+// Counters aggregates machine-wide activity.
+type Counters struct {
+	Instructions float64
+	Flops        float64
+	LLCAccesses  float64
+	DRAMAccesses float64
+	PPBlocks     uint64 // gate denials
+	Wakeups      uint64 // gate releases
+	Barriers     uint64 // barrier rendezvous completed
+}
+
+// Sample is one point of the run's utilization timeline.
+type Sample struct {
+	At        sim.Time
+	BusyCores float64
+	// PressureBytes is the LLC pressure of the active set at the sample.
+	PressureBytes float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Elapsed      sim.Duration
+	Counters     Counters
+	PackageJ     float64
+	DRAMJ        float64
+	SystemJ      float64
+	AvgBusyCores float64
+	Procs        []ProcResult
+	// Timeline holds utilization samples taken at scheduling points, at
+	// most one per TimelineInterval (empty when sampling is disabled).
+	Timeline []Sample
+}
+
+// ProcResult is one process's completion record.
+type ProcResult struct {
+	Name         string
+	Finish       sim.Duration
+	Instructions float64
+	Flops        float64
+}
+
+// GFLOPS returns billions of floating-point operations per wall second.
+func (r *Result) GFLOPS() float64 {
+	s := r.Elapsed.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return r.Counters.Flops / s / 1e9
+}
+
+// GFLOPSPerWatt returns total GFLOP divided by system Joules — the
+// paper's Figure 10 metric (work per energy).
+func (r *Result) GFLOPSPerWatt() float64 {
+	if r.SystemJ == 0 {
+		return 0
+	}
+	return r.Counters.Flops / 1e9 / r.SystemJ
+}
+
+// Machine simulates one run of a set of processes. A Machine is single
+// use: construct, add processes, Run once.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	meter *energy.Meter
+	gate  Gate
+
+	procs   []*Process
+	threads []*Thread
+
+	lastUpdate  sim.Time
+	pending     *sim.Event
+	busyCores   float64
+	timeline    []Sample
+	lastSample  sim.Time
+	sampleEvery sim.Duration
+	inEvent     bool
+	dirty       bool
+	ran         bool
+	doneProcs   int
+	counters    Counters
+	llcCarry    float64
+	dramCarry   float64
+	err         error
+}
+
+// New builds a machine; it panics on an invalid config (programming
+// error) and accepts a nil gate (default scheduling only).
+func New(cfg Config, gate Gate) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{
+		cfg:   cfg,
+		eng:   sim.NewEngine(cfg.Seed),
+		meter: energy.NewMeter(cfg.Energy),
+		gate:  gate,
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// Engine exposes the event engine (used by gates that need timers).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// EnableTimeline records a utilization sample at scheduling points, at
+// most one per interval. Call before Run.
+func (m *Machine) EnableTimeline(interval sim.Duration) {
+	if interval <= 0 {
+		interval = 10 * sim.Millisecond
+	}
+	m.sampleEvery = interval
+}
+
+// AddProcess instantiates spec. It returns an error after Run has started
+// or for invalid specs.
+func (m *Machine) AddProcess(spec proc.Spec) (*Process, error) {
+	if m.ran {
+		return nil, fmt.Errorf("machine: AddProcess after Run")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Process{id: len(m.procs), spec: spec, barriers: make(map[int]int)}
+	for i := 0; i < spec.Threads; i++ {
+		t := &Thread{id: len(m.threads), proc: p, idxInProc: i}
+		p.threads = append(p.threads, t)
+		m.threads = append(m.threads, t)
+	}
+	m.procs = append(m.procs, p)
+	return p, nil
+}
+
+// AddWorkload instantiates every spec in w.
+func (m *Machine) AddWorkload(w proc.Workload) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	for _, s := range w.Procs {
+		if _, err := m.AddProcess(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (m *Machine) Run() (*Result, error) {
+	if m.ran {
+		return nil, fmt.Errorf("machine: Run called twice")
+	}
+	m.ran = true
+	if len(m.procs) == 0 {
+		return nil, fmt.Errorf("machine: no processes")
+	}
+	// Launch every thread through phase 0 (gate admission in thread order,
+	// like processes starting one after another at t=0).
+	for _, t := range m.threads {
+		m.startPhase(t, 0)
+	}
+	m.reschedule()
+
+	deadline := sim.Time(0).Add(m.cfg.MaxSimTime)
+	for m.doneProcs < len(m.procs) && m.err == nil {
+		if !m.eng.Step() {
+			m.err = m.stallError()
+			break
+		}
+		if m.eng.Now() > deadline {
+			m.err = fmt.Errorf("machine: exceeded MaxSimTime %v (livelock?)", m.cfg.MaxSimTime)
+			break
+		}
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	res := &Result{
+		Elapsed:      m.eng.Now().DurationSince(0),
+		Counters:     m.counters,
+		PackageJ:     m.meter.PackageJoules(),
+		DRAMJ:        m.meter.DRAMJoules(),
+		SystemJ:      m.meter.SystemJoules(),
+		AvgBusyCores: m.meter.AvgBusyCores(),
+		Timeline:     m.timeline,
+	}
+	for _, p := range m.procs {
+		pr := ProcResult{Name: p.spec.Name, Finish: p.finish.DurationSince(0)}
+		for _, t := range p.threads {
+			pr.Instructions += t.instructions
+			pr.Flops += t.flops
+		}
+		res.Procs = append(res.Procs, pr)
+	}
+	return res, nil
+}
+
+func (m *Machine) stallError() error {
+	blocked, waiting := 0, 0
+	for _, t := range m.threads {
+		switch t.state {
+		case Blocked:
+			blocked++
+		case BarrierWait:
+			waiting++
+		}
+	}
+	return fmt.Errorf("machine: stalled at %v with %d/%d processes done (%d blocked, %d at barriers): "+
+		"a progress period was never released — check the gate's policy for starvation",
+		m.eng.Now(), m.doneProcs, len(m.procs), blocked, waiting)
+}
+
+// Unblock releases a thread the gate paused. It may be called
+// synchronously from within ExitPhase or later from a timer.
+func (m *Machine) Unblock(t *Thread) {
+	if t.state != Blocked {
+		panic(fmt.Sprintf("machine: Unblock of %s thread %d", t.state, t.id))
+	}
+	m.counters.Wakeups++
+	wake := func() {
+		m.chargeWakeRefill(t)
+		t.state = Ready
+	}
+	if m.cfg.WakeLatency <= 0 {
+		m.mutate(wake)
+		return
+	}
+	t.state = Waking
+	m.eng.After(m.cfg.WakeLatency, func() {
+		m.mutate(wake)
+	})
+}
+
+// chargeWakeRefill bills the cold-cache restart of a resumed thread: the
+// working set it is about to use was evicted while it waited, so
+// WSS/LineSize lines stream back in from DRAM. The stall is charged as
+// instruction-equivalents at base CPI (an approximation — refill overlaps
+// poorly with execution, which is why only the exposed latency fraction
+// is charged), and the line fetches are counted as LLC + DRAM traffic.
+func (m *Machine) chargeWakeRefill(t *Thread) {
+	if m.cfg.WakeRefillFactor <= 0 {
+		return
+	}
+	ph := t.CurrentPhase()
+	if ph == nil {
+		return
+	}
+	lines := m.cfg.WakeRefillFactor * float64(ph.OccupancyBytes()) / float64(m.cfg.LineSize)
+	exposed := m.cfg.DRAMCycles * (1 - m.cfg.MLPOverlap)
+	t.penalty += lines * exposed / m.cfg.BaseCPI
+	m.accumulate(lines, lines)
+}
+
+// mutate applies a state change with correct advance/reschedule framing:
+// inside an event the reschedule is deferred to the event's end; outside
+// (timer callbacks) it happens immediately.
+func (m *Machine) mutate(fn func()) {
+	if m.inEvent {
+		fn()
+		m.dirty = true
+		return
+	}
+	m.advance()
+	fn()
+	m.reschedule()
+}
+
+// advance integrates thread progress, counters, and energy from the last
+// update point to now, using the rates cached by the last reschedule.
+func (m *Machine) advance() {
+	now := m.eng.Now()
+	dt := now.DurationSince(m.lastUpdate)
+	if dt <= 0 {
+		m.lastUpdate = now
+		return
+	}
+	secs := dt.Seconds()
+	var llc, dram float64
+	for _, t := range m.threads {
+		if t.state != Ready {
+			continue
+		}
+		done := t.rate * secs
+		if done > t.remaining+t.penalty+1 {
+			done = t.remaining + t.penalty + 1 // clamp numerical overshoot
+		}
+		if t.penalty > 0 {
+			p := done
+			if p > t.penalty {
+				p = t.penalty
+			}
+			t.penalty -= p
+			done -= p
+		}
+		t.remaining -= done
+		t.instructions += done
+		t.flops += done * t.flopsPerInstr
+		m.counters.Instructions += done
+		m.counters.Flops += done * t.flopsPerInstr
+		llc += done * t.llcPerInstr
+		dram += done * t.dramPerInstr
+	}
+	m.accumulate(llc, dram)
+	m.meter.AdvanceTime(dt, m.busyCores)
+	m.lastUpdate = now
+}
+
+// accumulate moves float access counts into the meter with carry so that
+// rounding never loses events.
+func (m *Machine) accumulate(llc, dram float64) {
+	m.counters.LLCAccesses += llc
+	m.counters.DRAMAccesses += dram
+	m.llcCarry += llc
+	m.dramCarry += dram
+	if n := uint64(m.llcCarry); n > 0 {
+		m.meter.CountLLC(n)
+		m.llcCarry -= float64(n)
+	}
+	if n := uint64(m.dramCarry); n > 0 {
+		m.meter.CountDRAM(n)
+		m.dramCarry -= float64(n)
+	}
+}
+
+// completionEpsilon is the slack (in instructions) below which a phase
+// counts as finished; it absorbs picosecond event rounding.
+const completionEpsilon = 0.05
+
+// computeShares assigns each ready thread its weighted fair core share
+// (CFS semantics in the fluid limit) by water-filling: no thread may use
+// more than one core, and leftover capacity from capped threads is
+// redistributed to the rest in proportion to their weights. It returns
+// the total busy-core count (Σ shares). With uniform weights this
+// reduces to share = min(1, cores/ready).
+func (m *Machine) computeShares() float64 {
+	var unsat []*Thread
+	for _, t := range m.threads {
+		if t.state == Ready {
+			t.share = 0
+			unsat = append(unsat, t)
+		}
+	}
+	capacity := float64(m.cfg.Cores)
+	total := 0.0
+	for len(unsat) > 0 && capacity > 1e-12 {
+		var sumW float64
+		for _, t := range unsat {
+			sumW += t.proc.spec.EffectiveWeight()
+		}
+		next := unsat[:0]
+		capped := false
+		for _, t := range unsat {
+			w := t.proc.spec.EffectiveWeight()
+			if capacity*w/sumW >= 1 {
+				t.share = 1
+				capped = true
+			} else {
+				next = append(next, t)
+			}
+		}
+		if capped {
+			// Recompute remaining capacity and iterate.
+			used := 0.0
+			for _, t := range m.threads {
+				if t.state == Ready && t.share == 1 {
+					used++
+				}
+			}
+			capacity = float64(m.cfg.Cores) - used
+			unsat = next
+			continue
+		}
+		for _, t := range unsat {
+			w := t.proc.spec.EffectiveWeight()
+			t.share = capacity * w / sumW
+		}
+		unsat = nil
+	}
+	for _, t := range m.threads {
+		if t.state == Ready {
+			total += t.share
+		}
+	}
+	// Clamp float accumulation noise: Σ shares can exceed the core count
+	// by an ulp after water-filling.
+	if max := float64(m.cfg.Cores); total > max {
+		total = max
+	}
+	return total
+}
+
+// reschedule recomputes contention, rates, and the next completion event.
+func (m *Machine) reschedule() {
+	if m.pending != nil {
+		m.eng.Cancel(m.pending)
+		m.pending = nil
+	}
+	ready := 0
+	for _, t := range m.threads {
+		if t.state == Ready {
+			ready++
+		}
+	}
+	if ready == 0 {
+		return // threads are blocked/waking/done; timers or the gate move things along
+	}
+
+	ctn := m.contention()
+	m.busyCores = m.computeShares()
+	if m.sampleEvery > 0 && (len(m.timeline) == 0 || m.eng.Now() >= m.lastSample.Add(m.sampleEvery)) {
+		m.timeline = append(m.timeline, Sample{
+			At: m.eng.Now(), BusyCores: m.busyCores,
+			PressureBytes: float64(ctn.PressureBytes),
+		})
+		m.lastSample = m.eng.Now()
+	}
+
+	// Unconstrained rates, then a shared-bandwidth roofline.
+	var traffic float64 // bytes/sec of DRAM transfers
+	for _, t := range m.threads {
+		if t.state != Ready {
+			continue
+		}
+		ph := t.CurrentPhase()
+		perf := m.phasePerf(ph, ctn)
+		t.llcPerInstr = perf.llcPerInstr
+		t.dramPerInstr = perf.dramPerInstr
+		t.flopsPerInstr = ph.FlopsPerInstr
+		t.rate = t.share * m.cfg.FreqHz / perf.cpi
+		traffic += t.rate * t.dramPerInstr * float64(m.cfg.LineSize)
+	}
+	if traffic > m.cfg.MemBandwidth {
+		scale := m.cfg.MemBandwidth / traffic
+		for _, t := range m.threads {
+			if t.state == Ready {
+				t.rate *= scale
+			}
+		}
+	}
+
+	// Next completion.
+	next := math.Inf(1)
+	for _, t := range m.threads {
+		if t.state != Ready {
+			continue
+		}
+		dt := (t.remaining + t.penalty) / t.rate
+		if dt < next {
+			next = dt
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	d := sim.Duration(math.Ceil(next * 1e12))
+	if d < 1 {
+		d = 1
+	}
+	m.pending = m.eng.After(d, m.onCompletion)
+}
+
+// onCompletion advances time and retires every phase that has finished.
+func (m *Machine) onCompletion() {
+	m.pending = nil
+	m.advance()
+	m.inEvent = true
+	m.dirty = false
+	for _, t := range m.threads {
+		if t.state == Ready && t.remaining+t.penalty <= completionEpsilon {
+			m.finishPhase(t)
+		}
+	}
+	m.inEvent = false
+	m.reschedule()
+}
+
+// finishPhase retires t's current phase: gate exit, barrier rendezvous,
+// next phase entry.
+func (m *Machine) finishPhase(t *Thread) {
+	ph := t.CurrentPhase()
+	idx := t.phase
+	if ph.Declared && m.gate != nil {
+		m.gate.ExitPhase(t, idx, ph)
+	}
+	if ph.BarrierAfter && t.proc.spec.Threads > 1 {
+		p := t.proc
+		p.barriers[idx]++
+		if p.barriers[idx] < len(p.threads) {
+			t.state = BarrierWait
+			return
+		}
+		delete(p.barriers, idx)
+		m.counters.Barriers++
+		for _, sib := range p.threads {
+			if sib != t && sib.state == BarrierWait && sib.phase == idx {
+				sib.phase++
+				m.startPhase(sib, sib.phase)
+			}
+		}
+	}
+	t.phase++
+	m.startPhase(t, t.phase)
+}
+
+// startPhase moves t into phase i, charging boundary overhead and asking
+// the gate for admission when the phase is declared.
+func (m *Machine) startPhase(t *Thread, i int) {
+	prog := t.proc.spec.Program
+	if i >= len(prog) {
+		t.state = Done
+		p := t.proc
+		p.done++
+		if p.done == len(p.threads) {
+			p.finish = m.eng.Now()
+			m.doneProcs++
+		}
+		return
+	}
+	ph := &prog[i]
+	t.remaining = ph.Instr
+	if ph.Declared {
+		// The pp_begin/pp_end cost is stall, not useful work: charge it
+		// as zero-yield penalty so it consumes time without fabricating
+		// flops or memory traffic.
+		t.penalty += m.cfg.boundaryOverhead(ph.Instr)
+		if m.gate != nil && !m.gate.EnterPhase(t, i, ph) {
+			t.state = Blocked
+			m.counters.PPBlocks++
+			return
+		}
+	}
+	t.state = Ready
+}

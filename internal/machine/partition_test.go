@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"testing"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+func TestPartitionCapsPressure(t *testing.T) {
+	// A 24 MB streamer fenced to 0.5 MB must not evict a co-running
+	// high-reuse phase: the dgemm's runtime should match running alone.
+	cfg := testConfig()
+	dgemm := simplePhase(1e8, pp.MB(2.4), pp.ReuseHigh)
+
+	alone := New(cfg, nil)
+	if _, err := alone.AddProcess(singleProc("d", dgemm)); err != nil {
+		t.Fatal(err)
+	}
+	resAlone := mustRun(t, alone)
+
+	stream := proc.Phase{
+		Name: "s", Instr: 1e8, WSS: pp.MB(24), Reuse: pp.ReuseLow,
+		AccessesPerInstr: 0.01, PrivateHitFrac: 0.9, StreamFrac: 1,
+		FlopsPerInstr: 0, CachePartition: pp.MB(0.5),
+	}
+	mixed := New(cfg, nil)
+	if _, err := mixed.AddProcess(singleProc("d", dgemm)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mixed.AddProcess(singleProc("s", stream)); err != nil {
+		t.Fatal(err)
+	}
+	resMixed := mustRun(t, mixed)
+
+	// The dgemm finishes at the same time in both runs (2.9 MB of
+	// pressure total — no contention).
+	dAlone := resAlone.Procs[0].Finish
+	dMixed := resMixed.Procs[0].Finish
+	ratio := float64(dMixed) / float64(dAlone)
+	if ratio > 1.01 {
+		t.Fatalf("partitioned streamer slowed the dgemm %.3fx", ratio)
+	}
+
+	// Without the partition, the same streamer thrashes the dgemm.
+	stream.CachePartition = 0
+	open := New(cfg, nil)
+	if _, err := open.AddProcess(singleProc("d", dgemm)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.AddProcess(singleProc("s", stream)); err != nil {
+		t.Fatal(err)
+	}
+	resOpen := mustRun(t, open)
+	if float64(resOpen.Procs[0].Finish) < 1.2*float64(dAlone) {
+		t.Fatalf("unpartitioned streamer did not thrash the dgemm (%.3fx)",
+			float64(resOpen.Procs[0].Finish)/float64(dAlone))
+	}
+}
+
+func TestPartitionCapsOwnResidency(t *testing.T) {
+	// A high-reuse phase fenced below its working set loses hit rate even
+	// when the cache is otherwise empty: partition/WSS bounds residency.
+	cfg := testConfig()
+	free := simplePhase(1e8, pp.MB(4), pp.ReuseHigh)
+	fenced := free
+	fenced.CachePartition = pp.MB(1)
+
+	mf := New(cfg, nil)
+	if _, err := mf.AddProcess(singleProc("free", free)); err != nil {
+		t.Fatal(err)
+	}
+	resFree := mustRun(t, mf)
+
+	mp := New(cfg, nil)
+	if _, err := mp.AddProcess(singleProc("fenced", fenced)); err != nil {
+		t.Fatal(err)
+	}
+	resFenced := mustRun(t, mp)
+
+	if resFenced.Elapsed <= resFree.Elapsed {
+		t.Fatal("fencing a reuse-heavy phase cost nothing")
+	}
+	if resFenced.Counters.DRAMAccesses <= resFree.Counters.DRAMAccesses {
+		t.Fatal("fencing did not increase DRAM traffic")
+	}
+}
+
+func TestOccupancyBytes(t *testing.T) {
+	ph := proc.Phase{WSS: pp.MB(24), CachePartition: pp.MB(0.5)}
+	if got := ph.OccupancyBytes(); got != pp.MB(0.5) {
+		t.Fatalf("occupancy = %v", got)
+	}
+	ph.CachePartition = pp.MB(30) // larger than WSS: WSS wins
+	if got := ph.OccupancyBytes(); got != pp.MB(24) {
+		t.Fatalf("occupancy = %v", got)
+	}
+	ph.CachePartition = 0
+	if got := ph.OccupancyBytes(); got != pp.MB(24) {
+		t.Fatalf("occupancy = %v", got)
+	}
+}

@@ -1,0 +1,151 @@
+package machine
+
+// Trace-driven validation of the analytic contention model: co-running
+// working sets are replayed through the real set-associative LRU
+// hierarchy (internal/cache) and the measured shared-cache hit rates are
+// compared against the model's residency assumptions.
+//
+// The analytic model claims h ∝ r^γ with r = C/ΣW and γ = 2. The two
+// classic access-pattern extremes bracket that choice:
+//
+//   - uniform random accesses within each working set degrade *linearly*
+//     (each thread keeps C/ΣW of its set resident and hits with exactly
+//     that probability) — γ = 1;
+//   - cyclic sequential sweeps collapse to ~zero hits the moment ΣW
+//     exceeds C (LRU's pathological case) — γ → ∞.
+//
+// Real phases mix both behaviours; γ = 2 sits between the brackets. The
+// tests below verify each bracket empirically on the simulated hardware.
+
+import (
+	"testing"
+
+	"rdasched/internal/cache"
+	"rdasched/internal/pp"
+	"rdasched/internal/sim"
+)
+
+// replayCoRun interleaves per-thread access streams through a shared LLC
+// (one private L1/L2 per thread) in round-robin bursts, returning the
+// steady-state LLC hit rate measured after a warm-up pass.
+func replayCoRun(t *testing.T, threads int, wss pp.Bytes, pattern string, sweeps int) float64 {
+	t.Helper()
+	cfg := cache.E5_2420()
+	if threads > cfg.Cores {
+		t.Fatalf("replay with %d threads exceeds %d cores", threads, cfg.Cores)
+	}
+	h := cache.NewHierarchy(cfg)
+	rng := sim.NewRNG(42)
+
+	// Per-thread positional state for the cyclic pattern.
+	pos := make([]uint64, threads)
+	next := func(i int) uint64 {
+		base := uint64(i) << 30
+		switch pattern {
+		case "random":
+			return base + (rng.Uint64n(uint64(wss)) &^ 63)
+		case "cyclic":
+			a := base + pos[i]
+			pos[i] = (pos[i] + 64) % uint64(wss)
+			return a
+		default:
+			t.Fatalf("unknown pattern %q", pattern)
+			return 0
+		}
+	}
+
+	// Access counts scale with the working set so that warm-up actually
+	// fills it: `sweeps` passes of wss/64 accesses per thread.
+	perThread := sweeps * int(wss/64)
+	const burst = 512 // accesses per scheduling burst, round-robin
+	run := func(n int, count bool) (hits, llcAccesses uint64) {
+		for done := 0; done < n; done += burst {
+			for i := 0; i < threads; i++ {
+				for k := 0; k < burst; k++ {
+					lvl, _ := h.Access(i, next(i))
+					if !count {
+						continue
+					}
+					switch lvl {
+					case cache.LLC:
+						hits++
+						llcAccesses++
+					case cache.Memory:
+						llcAccesses++
+					}
+				}
+			}
+		}
+		return
+	}
+	run(perThread, false) // warm up
+	hits, total := run(perThread, true)
+	if total == 0 {
+		t.Fatal("no LLC-level accesses measured")
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestRandomAccessDegradesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// 12 × 2 MB = 24 MB on a 15 MB LLC: r = 0.64. Uniform random access
+	// should measure an LLC hit rate near r (the linear bracket).
+	const threads = 12
+	wss := pp.MB(2)
+	r := float64(15360*pp.KiB) / float64(pp.Bytes(threads)*wss)
+	got := replayCoRun(t, threads, wss, "random", 6)
+	if got < r*0.75 || got > r*1.2 {
+		t.Fatalf("random-access hit rate %.3f, want ≈ r = %.3f (linear degradation)", got, r)
+	}
+}
+
+func TestCyclicSweepCollapsesSuperLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Same pressure, cyclic sweeps: LRU thrashes and the hit rate falls
+	// far below the linear prediction — the bracket that justifies γ > 1.
+	const threads = 12
+	wss := pp.MB(2)
+	r := float64(15360*pp.KiB) / float64(pp.Bytes(threads)*wss)
+	got := replayCoRun(t, threads, wss, "cyclic", 6)
+	if got > r/2 {
+		t.Fatalf("cyclic hit rate %.3f not ≪ linear r = %.3f", got, r)
+	}
+	// And the model's γ=2 prediction lies between the brackets.
+	model := r * r
+	if !(got <= model*1.5 && model <= r) {
+		t.Fatalf("γ=2 model %.3f not bracketed by cyclic %.3f and linear %.3f", model, got, r)
+	}
+}
+
+func TestFittingSetsStayResident(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// 4 × 2 MB = 8 MB fits in 15 MB: both patterns must hit nearly
+	// always once warm.
+	for _, pattern := range []string{"random", "cyclic"} {
+		got := replayCoRun(t, 4, pp.MB(2), pattern, 6)
+		if got < 0.95 {
+			t.Fatalf("%s hit rate %.3f for fitting sets, want ≈1", pattern, got)
+		}
+	}
+}
+
+func TestHitRateMonotoneInPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Increasing co-runner count must not increase anyone's hit rate.
+	prev := 1.1
+	for _, threads := range []int{4, 8, 12} {
+		got := replayCoRun(t, threads, pp.MB(2), "random", 5)
+		if got > prev+0.02 {
+			t.Fatalf("hit rate rose from %.3f to %.3f when adding co-runners", prev, got)
+		}
+		prev = got
+	}
+}

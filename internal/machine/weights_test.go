@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+func weightedSpec(name string, weight float64, instr float64) proc.Spec {
+	return proc.Spec{
+		Name: name, Threads: 1, Weight: weight,
+		Program: proc.Program{simplePhase(instr, pp.KB(64), pp.ReuseHigh)},
+	}
+}
+
+func TestWeightedSharesUnderContention(t *testing.T) {
+	// One core, two threads with weights 2:1 and equal work: the heavy
+	// thread finishes first, and while both run it progresses 2x as fast.
+	cfg := testConfig()
+	cfg.Cores = 1
+	m := New(cfg, nil)
+	if _, err := m.AddProcess(weightedSpec("heavy", 2, 1e8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddProcess(weightedSpec("light", 1, 1e8)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m)
+	heavy, light := res.Procs[0], res.Procs[1]
+	if heavy.Finish >= light.Finish {
+		t.Fatalf("heavy (w=2) finished at %v, light at %v", heavy.Finish, light.Finish)
+	}
+	// While both run, heavy gets 2/3 of the core: it finishes its 1e8
+	// instructions when light has done 5e7; light then runs alone. So
+	// heavy finishes at 1.5x the solo time, light at 2x.
+	ratio := float64(light.Finish) / float64(heavy.Finish)
+	if math.Abs(ratio-4.0/3.0) > 0.01 {
+		t.Fatalf("finish ratio = %v, want 4/3", ratio)
+	}
+}
+
+func TestWeightsIrrelevantWithoutContention(t *testing.T) {
+	// Two threads, twelve cores: both get a full core regardless of
+	// weight.
+	cfg := testConfig()
+	m := New(cfg, nil)
+	if _, err := m.AddProcess(weightedSpec("heavy", 8, 1e8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddProcess(weightedSpec("light", 1, 1e8)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, m)
+	if res.Procs[0].Finish != res.Procs[1].Finish {
+		t.Fatalf("uncontended weighted threads diverged: %v vs %v",
+			res.Procs[0].Finish, res.Procs[1].Finish)
+	}
+	if math.Abs(res.AvgBusyCores-2) > 1e-9 {
+		t.Fatalf("busy cores = %v, want 2", res.AvgBusyCores)
+	}
+}
+
+func TestWaterFillingCapsHeavyThreads(t *testing.T) {
+	// Two cores, three threads with weights 10, 1, 1: the heavy thread is
+	// capped at one full core and the remaining core splits evenly.
+	cfg := testConfig()
+	cfg.Cores = 2
+	m := New(cfg, nil)
+	if _, err := m.AddProcess(weightedSpec("heavy", 10, 2e8)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.AddProcess(weightedSpec("light", 1, 1e8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, m)
+	// heavy: 2e8 at share 1; lights: 1e8 at share 0.5 → all three finish
+	// simultaneously (2e8 worth of single-core time).
+	h, l1, l2 := res.Procs[0].Finish, res.Procs[1].Finish, res.Procs[2].Finish
+	if math.Abs(float64(h-l1))/float64(h) > 1e-9 || math.Abs(float64(h-l2))/float64(h) > 1e-9 {
+		t.Fatalf("finishes diverged: %v %v %v", h, l1, l2)
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	m := New(testConfig(), nil)
+	s := weightedSpec("bad", -1, 1e6)
+	if _, err := m.AddProcess(s); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

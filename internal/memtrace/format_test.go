@@ -1,0 +1,213 @@
+package memtrace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"rdasched/internal/pp"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Instr: 0, Addr: 0x1000},
+		{Instr: 5, Addr: 0x2008, Store: true},
+		{Instr: 9, IsJump: true, JumpSite: 42},
+		{Instr: 12, IsJump: true, JumpSite: -1},
+		{Instr: 1 << 60, Addr: 1<<63 - 64},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("len = %d, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		g := NewGen(seed)
+		g.RandomInSet(0, 64*pp.KiB, int(n), 2)
+		g.Jump(int(seed % 100))
+		refs := g.Refs()
+
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, refs); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEmptyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v, %d records", err, len(got))
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE\x01\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTraceBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	refs := []Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestTraceCorruptCountNoOOM(t *testing.T) {
+	// A header claiming 2^60 records must fail cleanly, not allocate.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Ref{{Addr: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for i := 6; i < 14; i++ {
+		b[i] = 0xff
+	}
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+}
+
+func TestFileStream(t *testing.T) {
+	g := NewGen(3)
+	g.Stream(0, 4*pp.KiB, 8, 1)
+	refs := g.Refs()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFileStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != uint64(len(refs)) {
+		t.Fatalf("Len = %d, want %d", fs.Len(), len(refs))
+	}
+	got := Collect(fs, 0)
+	if len(got) != len(refs) {
+		t.Fatalf("streamed %d records, want %d", len(got), len(refs))
+	}
+	if fs.Err() != nil {
+		t.Fatalf("unexpected stream error: %v", fs.Err())
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestFileStreamTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Ref{{Addr: 1}, {Addr: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	fs, err := NewFileStream(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(Collect(fs, 0))
+	if fs.Err() == nil {
+		t.Fatalf("truncation not reported (read %d records)", n)
+	}
+}
+
+func TestWriteStreamToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.rdat")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewPhasedStream(1, PhaseSpec{
+		Name: "p", Instr: 10_000, RefsPerInstr: 0.5,
+		HotBytes: 8 * pp.KiB, HotFrac: 1, Site: 3, JumpEvery: 1000,
+	})
+	n, err := WriteStream(f, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records written")
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	fs, err := NewFileStream(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != n {
+		t.Fatalf("header count %d, wrote %d", fs.Len(), n)
+	}
+	got := Collect(fs, 0)
+	if uint64(len(got)) != n || fs.Err() != nil {
+		t.Fatalf("read %d of %d: %v", len(got), n, fs.Err())
+	}
+	// The round-tripped trace must profile identically to the original:
+	// same footprint.
+	src2 := NewPhasedStream(1, PhaseSpec{
+		Name: "p", Instr: 10_000, RefsPerInstr: 0.5,
+		HotBytes: 8 * pp.KiB, HotFrac: 1, Site: 3, JumpEvery: 1000,
+	})
+	orig := Collect(src2, 0)
+	if Footprint(got) != Footprint(orig) {
+		t.Fatal("round-tripped trace has different footprint")
+	}
+}

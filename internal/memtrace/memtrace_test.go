@@ -1,0 +1,295 @@
+package memtrace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdasched/internal/pp"
+)
+
+func TestSliceStream(t *testing.T) {
+	refs := []Ref{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	s := NewSliceStream(refs)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var got []uint64
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r.Addr)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Addr != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	s := NewSliceStream(make([]Ref, 100))
+	if got := Collect(s, 10); len(got) != 10 {
+		t.Fatalf("Collect(max=10) returned %d", len(got))
+	}
+	s.Reset()
+	if got := Collect(s, 0); len(got) != 100 {
+		t.Fatalf("Collect(max=0) returned %d", len(got))
+	}
+}
+
+func TestStreamFootprintMatchesRegion(t *testing.T) {
+	g := NewGen(1)
+	g.Stream(0, 64*pp.KiB, 8, 0)
+	fp := FootprintBytes(g.Refs())
+	if fp != 64*pp.KiB {
+		t.Fatalf("footprint = %s, want 64KiB", fp)
+	}
+	// One ref per 8 bytes.
+	if got := len(g.Refs()); got != 64*1024/8 {
+		t.Fatalf("refs = %d", got)
+	}
+}
+
+func TestStreamDefaultStride(t *testing.T) {
+	g := NewGen(1)
+	g.Stream(0, 1024, 0, 0) // stride <= 0 falls back to 8
+	if len(g.Refs()) != 128 {
+		t.Fatalf("refs = %d, want 128", len(g.Refs()))
+	}
+}
+
+func TestComputeAdvancesInstructions(t *testing.T) {
+	g := NewGen(1)
+	g.Compute(100)
+	g.Stream(0, 64, 8, 2)
+	// 100 filler + 8 refs + 8*2 gaps = 124.
+	if g.Instructions() != 124 {
+		t.Fatalf("instructions = %d, want 124", g.Instructions())
+	}
+}
+
+func TestRandomInSetBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewGen(seed)
+		const size = 4 * pp.KiB
+		g.RandomInSet(1<<20, size, 500, 0)
+		for _, r := range g.Refs() {
+			if r.Addr < 1<<20 || r.Addr >= 1<<20+uint64(size) {
+				return false
+			}
+			if r.Addr%8 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomInSetReuseGrowsWithCount(t *testing.T) {
+	g := NewGen(7)
+	g.RandomInSet(0, 1*pp.KiB, 10000, 0)
+	fp := Footprint(g.Refs())
+	// 1 KiB = 16 lines; 10000 touches must revisit heavily.
+	if fp > 16 {
+		t.Fatalf("footprint %d lines exceeds region", fp)
+	}
+	reuse := float64(len(g.Refs())) / float64(fp)
+	if reuse < 100 {
+		t.Fatalf("reuse ratio %v too low for hot-set pattern", reuse)
+	}
+}
+
+func TestSweepRepeat(t *testing.T) {
+	g := NewGen(1)
+	g.SweepRepeat(0, 1*pp.KiB, 8, 5, 0)
+	if fp := FootprintBytes(g.Refs()); fp != 1*pp.KiB {
+		t.Fatalf("footprint = %s, want 1KiB", fp)
+	}
+	if got, want := len(g.Refs()), 5*128; got != want {
+		t.Fatalf("refs = %d, want %d", got, want)
+	}
+}
+
+func TestBlockedMatMulFootprint(t *testing.T) {
+	g := NewGen(1)
+	const n = 32
+	g.BlockedMatMul(0, 1<<20, 2<<20, n, 8, 1)
+	// Footprint ≈ 3 matrices of n*n*8 bytes = 24 KiB (line-granular, so
+	// allow rounding up).
+	fp := FootprintBytes(g.Refs())
+	want := pp.Bytes(3 * n * n * 8)
+	if fp < want || fp > want+3*64 {
+		t.Fatalf("footprint = %s, want ~%s", fp, want)
+	}
+}
+
+func TestBlockedMatMulReuseHigherThanStream(t *testing.T) {
+	g := NewGen(1)
+	g.BlockedMatMul(0, 1<<20, 2<<20, 32, 8, 1)
+	mm := g.Refs()
+	reuseMM := float64(len(mm)) / float64(Footprint(mm))
+
+	g2 := NewGen(1)
+	g2.Stream(0, FootprintBytes(mm), 8, 0)
+	st := g2.Refs()
+	reuseST := float64(len(st)) / float64(Footprint(st))
+	if reuseMM < 4*reuseST {
+		t.Fatalf("matmul reuse %.1f not ≫ stream reuse %.1f", reuseMM, reuseST)
+	}
+}
+
+func TestBlockedMatMulSampling(t *testing.T) {
+	full := NewGen(1)
+	full.BlockedMatMul(0, 1<<20, 2<<20, 16, 4, 1)
+	sampled := NewGen(1)
+	sampled.BlockedMatMul(0, 1<<20, 2<<20, 16, 4, 4)
+	if len(sampled.Refs()) >= len(full.Refs()) {
+		t.Fatal("sampling did not reduce trace size")
+	}
+	// Instruction counts stay comparable (same logical work).
+	ratio := float64(sampled.Instructions()) / float64(full.Instructions())
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("instruction count ratio %v too far from 1", ratio)
+	}
+}
+
+func TestBlockedMatMulEmitsJumps(t *testing.T) {
+	g := NewGen(1)
+	g.BlockedMatMul(0, 1<<20, 2<<20, 16, 8, 1)
+	jumps := 0
+	for _, r := range g.Refs() {
+		if r.IsJump {
+			jumps++
+		}
+	}
+	if jumps == 0 {
+		t.Fatal("no JMP markers in matmul trace")
+	}
+}
+
+func TestBlockedMatMulDegenerate(t *testing.T) {
+	g := NewGen(1)
+	g.BlockedMatMul(0, 0, 0, 0, 0, 1) // no-ops, must not panic
+	g.BlockedMatMul(0, 0, 0, 8, 0, 1)
+	if len(g.Refs()) != 0 {
+		t.Fatal("degenerate matmul emitted refs")
+	}
+}
+
+func TestPhasedRegionHotColdSplit(t *testing.T) {
+	g := NewGen(3)
+	hot := 8 * pp.KiB
+	g.PhasedRegion(0, hot, 1*pp.MiB, 0.9, 20000, 0)
+	inHot := 0
+	for _, r := range g.Refs() {
+		if r.Addr < uint64(hot) {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(len(g.Refs()))
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestPhasedRegionZeroCold(t *testing.T) {
+	g := NewGen(3)
+	g.PhasedRegion(0, 4*pp.KiB, 0, 0.5, 1000, 0)
+	for _, r := range g.Refs() {
+		if r.Addr >= uint64(4*pp.KiB) {
+			t.Fatal("ref outside hot region with no cold region")
+		}
+	}
+}
+
+func TestJumpSites(t *testing.T) {
+	g := NewGen(1)
+	g.Jump(42)
+	refs := g.Refs()
+	if len(refs) != 1 || !refs[0].IsJump || refs[0].JumpSite != 42 {
+		t.Fatalf("jump ref = %+v", refs[0])
+	}
+}
+
+func TestFootprintIgnoresJumps(t *testing.T) {
+	refs := []Ref{{Addr: 0}, {IsJump: true, Addr: 999999}, {Addr: 64}}
+	if Footprint(refs) != 2 {
+		t.Fatalf("Footprint = %d, want 2", Footprint(refs))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := NewGen(1)
+	g.Stream(0, 128, 8, 0)
+	g.Jump(0)
+	s := Summary(g.Refs())
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := NewGen(99), NewGen(99)
+	a.RandomInSet(0, 64*pp.KiB, 1000, 1)
+	b.RandomInSet(0, 64*pp.KiB, 1000, 1)
+	ra, rb := a.Refs(), b.Refs()
+	if len(ra) != len(rb) {
+		t.Fatal("lengths differ")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("ref %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func BenchmarkGenBlockedMatMul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewGen(1)
+		g.BlockedMatMul(0, 1<<20, 2<<20, 64, 16, 8)
+	}
+}
+
+func TestGenTraceStream(t *testing.T) {
+	g := NewGen(1)
+	g.Stream(0, 1*pp.KiB, 8, 0)
+	s := g.Trace()
+	if s.Len() != 128 {
+		t.Fatalf("trace len = %d", s.Len())
+	}
+	if got := len(Collect(s, 0)); got != 128 {
+		t.Fatalf("collected %d", got)
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	n := 0
+	fs := NewFuncStream(func() (Ref, bool) {
+		if n >= 3 {
+			return Ref{}, false
+		}
+		n++
+		return Ref{Addr: uint64(n)}, true
+	})
+	got := Collect(fs, 0)
+	if len(got) != 3 || got[2].Addr != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPhasedStreamTotalInstr(t *testing.T) {
+	s := NewPhasedStream(1,
+		PhaseSpec{Name: "a", Instr: 100, RefsPerInstr: 0.5, HotBytes: 1024, HotFrac: 1},
+		PhaseSpec{Name: "b", Instr: 200, RefsPerInstr: 0.5, HotBytes: 1024, HotFrac: 1},
+	)
+	if s.TotalInstr() != 300 {
+		t.Fatalf("TotalInstr = %d", s.TotalInstr())
+	}
+}

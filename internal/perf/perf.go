@@ -1,0 +1,197 @@
+// Package perf is the measurement harness standing in for the paper's
+// use of Linux perf + RAPL: it runs a workload under a scheduling
+// configuration, repeats the measurement (the paper averages four runs),
+// and reports the metrics of §4.1 — system and DRAM energy in Joules,
+// GFLOPS, and GFLOPS per Watt.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+	"rdasched/internal/sim"
+)
+
+// Metrics are the paper's evaluation metrics for one workload run.
+type Metrics struct {
+	// SystemJ is energy consumed by CPU + caches + DRAM (Figure 7).
+	SystemJ float64
+	// DRAMJ is energy consumed by DRAM alone (Figure 8).
+	DRAMJ float64
+	// PackageJ is the package domain (SystemJ - DRAMJ).
+	PackageJ float64
+	// GFLOPS is average attained performance (Figure 9).
+	GFLOPS float64
+	// GFLOPSPerWatt is work per energy (Figure 10).
+	GFLOPSPerWatt float64
+	// ElapsedSec is the workload makespan in (virtual) seconds.
+	ElapsedSec float64
+	// DRAMAccesses counts LLC misses reaching memory.
+	DRAMAccesses float64
+	// AvgBusyCores is the time-averaged core occupancy.
+	AvgBusyCores float64
+	// Blocks and Wakeups count scheduler pause/resume events.
+	Blocks, Wakeups uint64
+}
+
+// RunConfig describes one measured configuration.
+type RunConfig struct {
+	// Machine is the hardware model (machine.DefaultConfig for Table 1).
+	Machine machine.Config
+	// Policy selects the scheduling configuration. nil means the Linux
+	// default policy: applications run *uninstrumented* — declared flags
+	// are stripped, so no progress-period API overhead is charged and no
+	// admission control happens.
+	Policy core.Policy
+	// Reserve withholds LLC capacity from admission (§6 extension; only
+	// meaningful with a non-nil Policy).
+	Reserve pp.Bytes
+	// Repetitions is the number of measured runs to average (the paper
+	// uses 4). 0 means 1.
+	Repetitions int
+	// JitterFrac perturbs per-run phase lengths by a uniform ±fraction,
+	// making repetitions differ the way real runs do (the paper reports
+	// an average standard deviation of 2%). 0 disables jitter.
+	JitterFrac float64
+	// Seed drives the jitter; each repetition forks its own stream.
+	Seed uint64
+}
+
+// Run measures a workload and returns the mean metrics and their
+// standard deviation across repetitions.
+func Run(w proc.Workload, rc RunConfig) (mean, stddev Metrics, err error) {
+	if err := w.Validate(); err != nil {
+		return Metrics{}, Metrics{}, err
+	}
+	reps := rc.Repetitions
+	if reps <= 0 {
+		reps = 1
+	}
+	rng := sim.NewRNG(rc.Seed + 0x5eed)
+	var samples []Metrics
+	for i := 0; i < reps; i++ {
+		wi := w
+		if rc.JitterFrac > 0 {
+			wi = jitter(w, rc.JitterFrac, rng.Fork())
+		}
+		m, err := runOnce(wi, rc, uint64(i))
+		if err != nil {
+			return Metrics{}, Metrics{}, fmt.Errorf("perf: repetition %d: %w", i, err)
+		}
+		samples = append(samples, m)
+	}
+	return aggregate(samples)
+}
+
+func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
+	cfg := rc.Machine
+	cfg.Seed = rc.Seed*1000 + rep
+
+	var gate machine.Gate
+	var schd *core.Scheduler
+	if rc.Policy == nil {
+		w = Undeclare(w)
+	} else {
+		schd = core.New(rc.Policy, cfg.LLCCapacity)
+		// Track memory bandwidth as a second resource: periods declaring
+		// BWDemand are gated against the machine's DRAM roofline.
+		schd.Resources().SetCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
+		if rc.Reserve > 0 {
+			schd.SetReserve(rc.Reserve)
+		}
+		gate = schd
+	}
+	m := machine.New(cfg, gate)
+	if schd != nil {
+		schd.SetWaker(m)
+	}
+	if err := m.AddWorkload(w); err != nil {
+		return Metrics{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		SystemJ:       res.SystemJ,
+		DRAMJ:         res.DRAMJ,
+		PackageJ:      res.PackageJ,
+		GFLOPS:        res.GFLOPS(),
+		GFLOPSPerWatt: res.GFLOPSPerWatt(),
+		ElapsedSec:    res.Elapsed.Seconds(),
+		DRAMAccesses:  res.Counters.DRAMAccesses,
+		AvgBusyCores:  res.AvgBusyCores,
+		Blocks:        res.Counters.PPBlocks,
+		Wakeups:       res.Counters.Wakeups,
+	}, nil
+}
+
+// Undeclare strips every Declared flag: the workload as it runs on the
+// stock scheduler, without progress-period instrumentation.
+func Undeclare(w proc.Workload) proc.Workload {
+	out := proc.Workload{Name: w.Name, Procs: make([]proc.Spec, len(w.Procs))}
+	for i, s := range w.Procs {
+		cs := s
+		cs.Program = make(proc.Program, len(s.Program))
+		copy(cs.Program, s.Program)
+		for j := range cs.Program {
+			cs.Program[j].Declared = false
+		}
+		out.Procs[i] = cs
+	}
+	return out
+}
+
+// jitter returns a copy of w with each phase's instruction count
+// perturbed by a uniform factor in [1-frac, 1+frac].
+func jitter(w proc.Workload, frac float64, rng *sim.RNG) proc.Workload {
+	out := proc.Workload{Name: w.Name, Procs: make([]proc.Spec, len(w.Procs))}
+	for i, s := range w.Procs {
+		cs := s
+		cs.Program = make(proc.Program, len(s.Program))
+		copy(cs.Program, s.Program)
+		for j := range cs.Program {
+			f := 1 + frac*(2*rng.Float64()-1)
+			cs.Program[j].Instr *= f
+		}
+		out.Procs[i] = cs
+	}
+	return out
+}
+
+func aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
+	n := float64(len(samples))
+	if n == 0 {
+		return Metrics{}, Metrics{}, fmt.Errorf("perf: no samples")
+	}
+	fields := func(m *Metrics) []*float64 {
+		return []*float64{
+			&m.SystemJ, &m.DRAMJ, &m.PackageJ, &m.GFLOPS, &m.GFLOPSPerWatt,
+			&m.ElapsedSec, &m.DRAMAccesses, &m.AvgBusyCores,
+		}
+	}
+	for _, s := range samples {
+		s := s
+		for i, f := range fields(&s) {
+			*fields(&mean)[i] += *f / n
+		}
+		mean.Blocks += s.Blocks / uint64(len(samples))
+		mean.Wakeups += s.Wakeups / uint64(len(samples))
+	}
+	for _, s := range samples {
+		s := s
+		mf := fields(&mean)
+		for i, f := range fields(&s) {
+			d := *f - *mf[i]
+			*fields(&stddev)[i] += d * d / n
+		}
+	}
+	for _, f := range fields(&stddev) {
+		*f = math.Sqrt(*f)
+	}
+	return mean, stddev, nil
+}

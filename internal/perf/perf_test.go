@@ -1,0 +1,142 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+func tinyWorkload(n int, declared bool) proc.Workload {
+	ph := proc.Phase{
+		Name: "k", Instr: 1e7, WSS: pp.MB(2), Reuse: pp.ReuseHigh,
+		AccessesPerInstr: 0.3, PrivateHitFrac: 0.8, FlopsPerInstr: 0.5,
+		Declared: declared,
+	}
+	spec := proc.Spec{Name: "p", Threads: 1, Program: proc.Program{ph}}
+	return proc.Workload{Name: "tiny", Procs: proc.Replicate(spec, n)}
+}
+
+func TestRunDefaultPolicy(t *testing.T) {
+	m, sd, err := Run(tinyWorkload(4, true), RunConfig{
+		Machine: machine.DefaultConfig(), Policy: nil, Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SystemJ <= 0 || m.GFLOPS <= 0 || m.ElapsedSec <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+	if m.Blocks != 0 {
+		t.Fatal("default policy blocked threads (Declared flags not stripped?)")
+	}
+	if sd.SystemJ != 0 {
+		t.Fatal("single repetition has nonzero stddev")
+	}
+}
+
+func TestRunStrictPolicy(t *testing.T) {
+	// 12 × 2 MB = 24 MB on 15 MB: strict must deny some periods.
+	m, _, err := Run(tinyWorkload(12, true), RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{}, Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Blocks == 0 || m.Wakeups == 0 {
+		t.Fatalf("strict policy did not gate anything: %+v", m)
+	}
+}
+
+func TestRepetitionsWithJitter(t *testing.T) {
+	m, sd, err := Run(tinyWorkload(6, true), RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+		Repetitions: 4, JitterFrac: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.ElapsedSec <= 0 {
+		t.Fatal("jittered repetitions produced zero variance")
+	}
+	// The paper reports ~2% run-to-run deviation; jitter of 2% should
+	// keep relative stddev in the same ballpark (well under 10%).
+	if sd.ElapsedSec/m.ElapsedSec > 0.1 {
+		t.Fatalf("relative stddev %v implausibly high", sd.ElapsedSec/m.ElapsedSec)
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	rc := RunConfig{Machine: machine.DefaultConfig(), Policy: core.NewCompromise(),
+		Repetitions: 2, JitterFrac: 0.02, Seed: 42}
+	a, _, err := Run(tinyWorkload(8, true), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(tinyWorkload(8, true), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestUndeclare(t *testing.T) {
+	w := tinyWorkload(2, true)
+	u := Undeclare(w)
+	for _, s := range u.Procs {
+		for _, ph := range s.Program {
+			if ph.Declared {
+				t.Fatal("Undeclare left a declared phase")
+			}
+		}
+	}
+	// Original untouched.
+	if !w.Procs[0].Program[0].Declared {
+		t.Fatal("Undeclare mutated its input")
+	}
+}
+
+func TestInstrumentationOverheadVisible(t *testing.T) {
+	// Same workload, same admission outcome (all fit): the instrumented
+	// run pays API overhead, so it is slightly slower.
+	small := tinyWorkload(3, true) // 6 MB < 15 MB: no denials even strict
+	base, _, err := Run(small, RunConfig{Machine: machine.DefaultConfig(), Policy: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _, err := Run(small, RunConfig{Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ElapsedSec <= base.ElapsedSec {
+		t.Fatal("instrumented run not slower than uninstrumented")
+	}
+	if (inst.ElapsedSec-base.ElapsedSec)/base.ElapsedSec > 0.05 {
+		t.Fatal("single-period overhead implausibly large")
+	}
+}
+
+func TestRunRejectsInvalidWorkload(t *testing.T) {
+	if _, _, err := Run(proc.Workload{Name: "empty"}, RunConfig{Machine: machine.DefaultConfig()}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestMetricConsistency(t *testing.T) {
+	m, _, err := Run(tinyWorkload(4, true), RunConfig{Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.SystemJ-(m.PackageJ+m.DRAMJ)) > 1e-9 {
+		t.Fatal("system != package + dram")
+	}
+	wantEff := m.GFLOPS * m.ElapsedSec / m.SystemJ
+	if math.Abs(m.GFLOPSPerWatt-wantEff)/wantEff > 1e-9 {
+		t.Fatalf("GFLOPS/W inconsistent: %v vs %v", m.GFLOPSPerWatt, wantEff)
+	}
+}

@@ -1,0 +1,164 @@
+// Package pp defines the progress-period model from §2 of the paper: the
+// vocabulary a process uses to describe a duration of its execution whose
+// resource demand stays roughly constant. A progress period is bounded by
+// explicit begin/end points in the program and carries (1) the hardware
+// resource it targets, (2) a working-set size, and (3) a relative temporal
+// data-reuse level.
+//
+// The user-facing API of the paper is two calls:
+//
+//	id := pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH)
+//	... kernel ...
+//	pp_end(id)
+//
+// In this reproduction those calls are methods on the scheduler extension
+// (internal/core); this package holds only the shared value types so that
+// workloads, the profiler, and the scheduler agree on them.
+package pp
+
+import "fmt"
+
+// Resource identifies a hardware resource a progress period targets. The
+// paper's prototype tracks the shared last-level cache; the enum leaves room
+// for the extensions discussed in its future work (memory bandwidth, cache
+// partitions).
+type Resource int
+
+const (
+	// ResourceLLC is the shared last-level cache (the paper's target).
+	ResourceLLC Resource = iota
+	// ResourceMemBW is memory bandwidth (future-work extension; supported
+	// by the resource monitor but not exercised by the paper's workloads).
+	ResourceMemBW
+	numResources
+)
+
+// NumResources is the count of defined resource kinds.
+const NumResources = int(numResources)
+
+func (r Resource) String() string {
+	switch r {
+	case ResourceLLC:
+		return "LLC"
+	case ResourceMemBW:
+		return "MemBW"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// Valid reports whether r names a defined resource.
+func (r Resource) Valid() bool { return r >= 0 && r < numResources }
+
+// Reuse is the relative temporal-locality factor of a progress period: how
+// heavily the working set is re-referenced while the period runs. The paper
+// categorizes profiler-measured reuse ratios into three levels (Table 2).
+type Reuse int
+
+const (
+	ReuseLow Reuse = iota
+	ReuseMed
+	ReuseHigh
+)
+
+func (l Reuse) String() string {
+	switch l {
+	case ReuseLow:
+		return "low"
+	case ReuseMed:
+		return "med"
+	case ReuseHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("Reuse(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the three defined levels.
+func (l Reuse) Valid() bool { return l >= ReuseLow && l <= ReuseHigh }
+
+// ClassifyReuse maps a raw profiler reuse ratio (mean accesses per resident
+// working-set entry within a window) onto the three paper levels. The
+// thresholds correspond to the ones used when Table 2 was assembled:
+// streaming kernels re-touch each datum only a handful of times, level-2
+// BLAS re-touches the vector O(n) times across the matrix sweep, level-3
+// BLAS re-touches panel data hundreds of times.
+func ClassifyReuse(ratio float64) Reuse {
+	switch {
+	case ratio < 4:
+		return ReuseLow
+	case ratio < 32:
+		return ReuseMed
+	default:
+		return ReuseHigh
+	}
+}
+
+// Bytes is a memory size in bytes.
+type Bytes int64
+
+// Size helpers mirroring the paper's MB(6.3) API literal.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// MB converts (possibly fractional) binary megabytes to Bytes, mirroring
+// the MB(6.3) literal in the paper's Figure 4.
+func MB(v float64) Bytes { return Bytes(v * float64(MiB)) }
+
+// KB converts binary kilobytes to Bytes.
+func KB(v float64) Bytes { return Bytes(v * float64(KiB)) }
+
+func (b Bytes) String() string {
+	switch {
+	case b >= GiB:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(GiB))
+	case b >= MiB:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(MiB))
+	case b >= KiB:
+		return fmt.Sprintf("%.2fKiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// MiBf returns the size in floating-point binary megabytes.
+func (b Bytes) MiBf() float64 { return float64(b) / float64(MiB) }
+
+// Demand is the quantified resource usage a progress period declares: the
+// triple passed to pp_begin.
+type Demand struct {
+	Resource Resource
+	// WorkingSet is the total amount of the resource the period needs
+	// resident to run at full speed (bytes for ResourceLLC).
+	WorkingSet Bytes
+	// Reuse is the relative temporal-locality factor.
+	Reuse Reuse
+}
+
+// Validate checks the demand is well-formed.
+func (d Demand) Validate() error {
+	if !d.Resource.Valid() {
+		return fmt.Errorf("pp: invalid resource %d", int(d.Resource))
+	}
+	if d.WorkingSet < 0 {
+		return fmt.Errorf("pp: negative working set %d", d.WorkingSet)
+	}
+	if !d.Reuse.Valid() {
+		return fmt.Errorf("pp: invalid reuse level %d", int(d.Reuse))
+	}
+	return nil
+}
+
+func (d Demand) String() string {
+	return fmt.Sprintf("%s %s reuse=%s", d.Resource, d.WorkingSet, d.Reuse)
+}
+
+// ID uniquely identifies an active progress period; it is the value
+// pp_begin returns and pp_end consumes. IDs are never reused within a run.
+type ID uint64
+
+// None is the zero ID, returned on rejected or invalid begins.
+const None ID = 0

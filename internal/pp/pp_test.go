@@ -1,0 +1,125 @@
+package pp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceString(t *testing.T) {
+	cases := map[Resource]string{
+		ResourceLLC:   "LLC",
+		ResourceMemBW: "MemBW",
+		Resource(99):  "Resource(99)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestResourceValid(t *testing.T) {
+	if !ResourceLLC.Valid() || !ResourceMemBW.Valid() {
+		t.Fatal("defined resources report invalid")
+	}
+	if Resource(-1).Valid() || Resource(NumResources).Valid() {
+		t.Fatal("out-of-range resources report valid")
+	}
+}
+
+func TestReuseStringAndValid(t *testing.T) {
+	if ReuseLow.String() != "low" || ReuseMed.String() != "med" || ReuseHigh.String() != "high" {
+		t.Fatal("reuse level strings wrong")
+	}
+	if Reuse(5).Valid() {
+		t.Fatal("Reuse(5) reports valid")
+	}
+}
+
+func TestClassifyReuse(t *testing.T) {
+	cases := []struct {
+		ratio float64
+		want  Reuse
+	}{
+		{0, ReuseLow}, {1, ReuseLow}, {3.9, ReuseLow},
+		{4, ReuseMed}, {10, ReuseMed}, {31.9, ReuseMed},
+		{32, ReuseHigh}, {500, ReuseHigh},
+	}
+	for _, c := range cases {
+		if got := ClassifyReuse(c.ratio); got != c.want {
+			t.Errorf("ClassifyReuse(%v) = %v, want %v", c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestClassifyReuseMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a < 0 || b < 0 || a > 1e6 || b > 1e6 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return ClassifyReuse(a) <= ClassifyReuse(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	if MB(1) != MiB {
+		t.Fatalf("MB(1) = %d, want %d", MB(1), MiB)
+	}
+	v := 6.3
+	if want := Bytes(v * float64(MiB)); MB(6.3) != want {
+		t.Fatalf("MB(6.3) = %d, want %d", MB(6.3), want)
+	}
+	if KB(32) != 32*KiB {
+		t.Fatalf("KB(32) = %d", KB(32))
+	}
+	if got := MB(6.3).MiBf(); got < 6.29 || got > 6.31 {
+		t.Fatalf("MiBf = %v, want ~6.3", got)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := map[Bytes]string{
+		512:       "512B",
+		2 * KiB:   "2.00KiB",
+		3 * MiB:   "3.00MiB",
+		5 * GiB:   "5.00GiB",
+		MB(1.5):   "1.50MiB",
+		KB(100.5): "100.50KiB",
+	}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(b), got, want)
+		}
+	}
+}
+
+func TestDemandValidate(t *testing.T) {
+	good := Demand{ResourceLLC, MB(6.3), ReuseHigh}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid demand rejected: %v", err)
+	}
+	bads := []Demand{
+		{Resource(42), MB(1), ReuseLow},
+		{ResourceLLC, -1, ReuseLow},
+		{ResourceLLC, MB(1), Reuse(7)},
+	}
+	for i, d := range bads {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad demand %d accepted", i)
+		}
+	}
+}
+
+func TestDemandString(t *testing.T) {
+	d := Demand{ResourceLLC, MB(6.3), ReuseHigh}
+	want := "LLC 6.30MiB reuse=high"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package profiler
+
+import "fmt"
+
+// Loop is one loop of a program's static loop-nest structure, the
+// information the paper extracts with Dyninst ParseAPI. Sites are the
+// JMP instruction addresses (here: abstract site IDs) retired by the
+// loop's back edges.
+type Loop struct {
+	ID     int
+	Parent int // -1 for a top-level loop
+	Name   string
+	Sites  []int
+}
+
+// Binary is the synthetic stand-in for a parsed executable: its loop
+// nest and the mapping from JMP sites to loops.
+type Binary struct {
+	loops  map[int]Loop
+	bySite map[int]int // site → loop ID
+}
+
+// NewBinary builds the lookup tables; it returns an error on duplicate
+// loop IDs, unknown parents, or sites claimed by two loops.
+func NewBinary(loops []Loop) (*Binary, error) {
+	b := &Binary{loops: make(map[int]Loop), bySite: make(map[int]int)}
+	for _, l := range loops {
+		if _, dup := b.loops[l.ID]; dup {
+			return nil, fmt.Errorf("profiler: duplicate loop id %d", l.ID)
+		}
+		b.loops[l.ID] = l
+	}
+	for _, l := range loops {
+		if l.Parent >= 0 {
+			if _, ok := b.loops[l.Parent]; !ok {
+				return nil, fmt.Errorf("profiler: loop %d has unknown parent %d", l.ID, l.Parent)
+			}
+		}
+		for _, s := range l.Sites {
+			if prev, dup := b.bySite[s]; dup {
+				return nil, fmt.Errorf("profiler: site %d claimed by loops %d and %d", s, prev, l.ID)
+			}
+			b.bySite[s] = l.ID
+		}
+	}
+	return b, nil
+}
+
+// LoopOf returns the loop directly containing a JMP site (-1 if unknown).
+func (b *Binary) LoopOf(site int) int {
+	if id, ok := b.bySite[site]; ok {
+		return id
+	}
+	return -1
+}
+
+// Outermost walks parents to the top-level loop containing the given
+// loop — "the outermost loop that contains the identified progress
+// period is then used as the beginning and ending of the period".
+func (b *Binary) Outermost(loopID int) int {
+	seen := make(map[int]bool)
+	cur, ok := b.loops[loopID]
+	if !ok {
+		return -1
+	}
+	for cur.Parent >= 0 {
+		if seen[cur.ID] {
+			return cur.ID // defensive: cycle in loop tree
+		}
+		seen[cur.ID] = true
+		cur = b.loops[cur.Parent]
+	}
+	return cur.ID
+}
+
+// Name returns a loop's name ("" if unknown).
+func (b *Binary) Name(loopID int) string { return b.loops[loopID].Name }
+
+// Annotate resolves each period's dominant JMP site to its outermost
+// containing loop.
+func Annotate(periods []Period, bin *Binary) {
+	for i := range periods {
+		if periods[i].Site < 0 {
+			continue
+		}
+		if inner := bin.LoopOf(periods[i].Site); inner >= 0 {
+			periods[i].LoopID = bin.Outermost(inner)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaitQueueFIFO(t *testing.T) {
+	var q WaitQueue[int]
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %v,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+}
+
+func TestWaitQueuePeek(t *testing.T) {
+	var q WaitQueue[string]
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("peek = %v,%v", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek removed an item")
+	}
+}
+
+func TestWaitQueueRemove(t *testing.T) {
+	var q WaitQueue[int]
+	t1 := q.Enqueue(1)
+	t2 := q.Enqueue(2)
+	t3 := q.Enqueue(3)
+	if !q.Remove(t2) {
+		t.Fatal("remove of live ticket failed")
+	}
+	if q.Remove(t2) {
+		t.Fatal("double remove succeeded")
+	}
+	v, _ := q.Dequeue()
+	if v != 1 {
+		t.Fatalf("head = %d", v)
+	}
+	v, _ = q.Dequeue()
+	if v != 3 {
+		t.Fatalf("second = %d", v)
+	}
+	_ = t1
+	_ = t3
+}
+
+func TestWakeFirstOrder(t *testing.T) {
+	var q WaitQueue[int]
+	for _, v := range []int{10, 3, 7, 2} {
+		q.Enqueue(v)
+	}
+	// First waiter that fits under a budget of 5: 3 (10 is skipped but
+	// stays queued).
+	v, ok := q.WakeFirst(func(x int) bool { return x <= 5 })
+	if !ok || v != 3 {
+		t.Fatalf("woke %v,%v; want 3", v, ok)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if head, _ := q.Peek(); head != 10 {
+		t.Fatalf("head = %d, want 10 still queued", head)
+	}
+}
+
+func TestWakeFirstNoneFits(t *testing.T) {
+	var q WaitQueue[int]
+	q.Enqueue(100)
+	if _, ok := q.WakeFirst(func(int) bool { return false }); ok {
+		t.Fatal("woke a waiter that does not fit")
+	}
+	if q.Len() != 1 {
+		t.Fatal("waiter lost")
+	}
+}
+
+func TestWakeAllCapacityShrinks(t *testing.T) {
+	var q WaitQueue[int]
+	for _, v := range []int{4, 4, 4, 4} {
+		q.Enqueue(v)
+	}
+	budget := 10
+	woken := q.WakeAll(func(x int) bool {
+		if x <= budget {
+			budget -= x
+			return true
+		}
+		return false
+	})
+	if len(woken) != 2 {
+		t.Fatalf("woke %d, want 2 (budget 10, items of 4)", len(woken))
+	}
+	if q.Len() != 2 {
+		t.Fatalf("left %d queued", q.Len())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var q WaitQueue[int]
+	for i := 0; i < 3; i++ {
+		q.Enqueue(i)
+	}
+	out := q.Drain()
+	if len(out) != 3 || out[0] != 0 || out[2] != 2 {
+		t.Fatalf("drain = %v", out)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+// Property: enqueue/dequeue preserves FIFO order for arbitrary sequences.
+func TestWaitQueueFIFOProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		var q WaitQueue[int]
+		for _, v := range vals {
+			q.Enqueue(v)
+		}
+		for _, v := range vals {
+			got, ok := q.Dequeue()
+			if !ok || got != v {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitQueueString(t *testing.T) {
+	var q WaitQueue[int]
+	q.Enqueue(1)
+	if q.String() != "waitqueue(len=1)" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestRunQueuePickMinVruntime(t *testing.T) {
+	var q RunQueue[string]
+	a := &Entity{Vruntime: 30, Weight: NiceZeroWeight}
+	b := &Entity{Vruntime: 10, Weight: NiceZeroWeight}
+	c := &Entity{Vruntime: 20, Weight: NiceZeroWeight}
+	q.Enqueue("a", a)
+	q.Enqueue("b", b)
+	q.Enqueue("c", c)
+	order := []string{}
+	for {
+		v, _, ok := q.PickNext()
+		if !ok {
+			break
+		}
+		order = append(order, v)
+	}
+	if order[0] != "b" || order[1] != "c" || order[2] != "a" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunQueueFairnessOverTime(t *testing.T) {
+	// Two equal-weight entities picked repeatedly for fixed slices end up
+	// with equal total runtime (alternation).
+	var q RunQueue[int]
+	ents := []*Entity{{Weight: NiceZeroWeight}, {Weight: NiceZeroWeight}}
+	total := [2]float64{}
+	q.Enqueue(0, ents[0])
+	q.Enqueue(1, ents[1])
+	for i := 0; i < 100; i++ {
+		v, e, ok := q.PickNext()
+		if !ok {
+			t.Fatal("queue empty")
+		}
+		q.Charge(e, 1000) // 1 µs slice
+		total[v] += 1000
+		q.Enqueue(v, e)
+	}
+	if total[0] != total[1] {
+		t.Fatalf("unequal runtime: %v vs %v", total[0], total[1])
+	}
+}
+
+func TestRunQueueWeightedShares(t *testing.T) {
+	// Weight 2048 should receive ~2x the runtime of weight 1024.
+	var q RunQueue[int]
+	heavy := &Entity{Weight: 2 * NiceZeroWeight}
+	light := &Entity{Weight: NiceZeroWeight}
+	q.Enqueue(0, heavy)
+	q.Enqueue(1, light)
+	total := [2]float64{}
+	for i := 0; i < 3000; i++ {
+		v, e, _ := q.PickNext()
+		q.Charge(e, 1000)
+		total[v] += 1000
+		q.Enqueue(v, e)
+	}
+	ratio := total[0] / total[1]
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("heavy/light runtime ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestRunQueueNewArrivalPlacement(t *testing.T) {
+	var q RunQueue[int]
+	old := &Entity{Weight: NiceZeroWeight}
+	q.Enqueue(0, old)
+	for i := 0; i < 10; i++ {
+		_, e, _ := q.PickNext()
+		q.Charge(e, 1e6)
+		q.Enqueue(0, e)
+	}
+	// A new arrival with zero vruntime must not monopolize: its vruntime
+	// is bumped to the queue minimum.
+	fresh := &Entity{Weight: NiceZeroWeight}
+	q.Enqueue(1, fresh)
+	if fresh.Vruntime < q.MinVruntime() {
+		t.Fatalf("fresh vruntime %v below queue min %v", fresh.Vruntime, q.MinVruntime())
+	}
+}
+
+func TestRunQueueChargePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var q RunQueue[int]
+	q.Charge(&Entity{Weight: 1024}, -1)
+}
+
+func TestRunQueueZeroWeightDefaults(t *testing.T) {
+	var q RunQueue[int]
+	e := &Entity{}
+	q.Enqueue(0, e)
+	if e.Weight != NiceZeroWeight {
+		t.Fatalf("weight = %d, want default %d", e.Weight, NiceZeroWeight)
+	}
+	q.Charge(e, 1024)
+	if e.Vruntime != 1024 {
+		t.Fatalf("vruntime = %v", e.Vruntime)
+	}
+}
+
+func TestRunQueueEmptyPick(t *testing.T) {
+	var q RunQueue[int]
+	if _, _, ok := q.PickNext(); ok {
+		t.Fatal("pick from empty succeeded")
+	}
+}

@@ -1,0 +1,116 @@
+// Package sched provides the operating-system scheduling primitives the
+// demand-aware extension builds on, mirroring the pieces of the Linux
+// 4.6.0 scheduler the paper's prototype used: a wait queue with wake
+// events (the mechanism its extension uses to pause and resume threads at
+// progress-period boundaries) and a CFS-style fair run queue (the
+// "underlying default scheduler" admitted threads are handed back to;
+// internal/machine approximates it in the fluid limit, and the run queue
+// here backs the discrete validation mode and unit tests).
+package sched
+
+import "fmt"
+
+// WaitQueue is a FIFO wait queue with wake events, generic over the
+// waiter handle type. It is deliberately minimal: the paper's extension
+// needs exactly enqueue (pause), wake-first-that-fits (resume), and
+// removal on exit.
+type WaitQueue[T any] struct {
+	items []waiter[T]
+	seq   uint64
+}
+
+type waiter[T any] struct {
+	v   T
+	seq uint64
+}
+
+// Len returns the number of waiting entries.
+func (q *WaitQueue[T]) Len() int { return len(q.items) }
+
+// Enqueue appends v and returns a ticket usable with Remove.
+func (q *WaitQueue[T]) Enqueue(v T) uint64 {
+	q.seq++
+	q.items = append(q.items, waiter[T]{v: v, seq: q.seq})
+	return q.seq
+}
+
+// Peek returns the oldest waiter without removing it.
+func (q *WaitQueue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0].v, true
+}
+
+// Dequeue removes and returns the oldest waiter.
+func (q *WaitQueue[T]) Dequeue() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0].v
+	q.items[0] = waiter[T]{} // release reference
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Remove deletes the entry with the given ticket; it reports whether the
+// ticket was found (false means it already woke or was removed).
+func (q *WaitQueue[T]) Remove(ticket uint64) bool {
+	for i := range q.items {
+		if q.items[i].seq == ticket {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeFirst scans waiters in FIFO order and dequeues the first one
+// accepted by fits. It returns the woken value, or ok=false when nothing
+// fits. This is the admission scan the progress monitor performs when a
+// period completes: strictly ordered, so a large early waiter is not
+// starved by small late ones slipping past it more than once per scan.
+func (q *WaitQueue[T]) WakeFirst(fits func(T) bool) (T, bool) {
+	var zero T
+	for i := range q.items {
+		if fits(q.items[i].v) {
+			v := q.items[i].v
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return v, true
+		}
+	}
+	return zero, false
+}
+
+// WakeAll dequeues every waiter accepted by fits, in FIFO order,
+// re-evaluating fits after each wake (capacity shrinks as waiters are
+// admitted). It returns the woken values.
+func (q *WaitQueue[T]) WakeAll(fits func(T) bool) []T {
+	var woken []T
+	i := 0
+	for i < len(q.items) {
+		if fits(q.items[i].v) {
+			woken = append(woken, q.items[i].v)
+			q.items = append(q.items[:i], q.items[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return woken
+}
+
+// Drain removes and returns all waiters.
+func (q *WaitQueue[T]) Drain() []T {
+	out := make([]T, len(q.items))
+	for i := range q.items {
+		out[i] = q.items[i].v
+	}
+	q.items = q.items[:0]
+	return out
+}
+
+func (q *WaitQueue[T]) String() string {
+	return fmt.Sprintf("waitqueue(len=%d)", len(q.items))
+}

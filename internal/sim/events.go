@@ -1,0 +1,152 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to fire at a virtual time. Events with the
+// same time fire in the order they were scheduled (FIFO tie-break), which
+// keeps runs deterministic regardless of heap internals.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 once removed
+	fire   func()
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation driver: a clock plus a pending
+// event queue. It is not safe for concurrent use; a simulation run is a
+// single logical thread of control (determinism by construction).
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *RNG
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG
+// derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired returns the number of events fired so far (useful in tests and as
+// a progress/runaway indicator).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// the present) fires at the current time, never rewinds the clock.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fire: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It returns false when the queue is empty or the engine has been halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fire()
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time ≤ deadline; events beyond the deadline
+// stay queued and the clock is left at min(deadline, last fired event).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.halted {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Halt stops Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }

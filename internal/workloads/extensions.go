@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+// Workloads for the paper's §6 future-work extensions, evaluated in
+// internal/experiments (extension experiments E1 and E2).
+
+// StreamingMix builds E1's scenario: six streaming processes whose
+// working sets exceed the LLC (24 MB each — "e.g., streaming
+// applications") co-scheduled with sixteen blocked dgemm processes
+// (2.4 MB, high reuse). partition, when positive, fences each streamer
+// into a cache partition of that size; zero reproduces the unpartitioned
+// baseline, where a 24 MB demand can only ever be admitted by the
+// empty-load safeguard and then starves every other period.
+func StreamingMix(partition pp.Bytes) proc.Workload {
+	stream := proc.Spec{
+		Name:    "streamer",
+		Threads: 1,
+		Program: proc.Program{{
+			Name: "stream", Instr: 2e8, WSS: pp.MB(24), Reuse: pp.ReuseLow,
+			AccessesPerInstr: 0.4, PrivateHitFrac: 0.875, StreamFrac: 1.0,
+			FlopsPerInstr: 0.2, Declared: true, CachePartition: partition,
+		}},
+	}
+	dgemm := proc.Spec{
+		Name:    "dgemm",
+		Threads: 1,
+		Program: proc.Program{{
+			Name: "dgemm", Instr: 2e8, WSS: pp.MB(2.4), Reuse: pp.ReuseHigh,
+			AccessesPerInstr: 0.3, PrivateHitFrac: 0.85, StreamFrac: 0.05,
+			FlopsPerInstr: 0.5, Declared: true,
+		}},
+	}
+	w := proc.Workload{Name: "streaming-mix"}
+	w.Procs = append(w.Procs, proc.Replicate(stream, 6)...)
+	w.Procs = append(w.Procs, proc.Replicate(dgemm, 16)...)
+	return w
+}
+
+// UnmanagedMix builds E2's scenario: twenty-four instrumented dgemm
+// processes alongside two LLC-intensive processes that declare no
+// progress periods at all — the resource monitor never sees their
+// footprint ("the resource monitor would be unaware of the behavior").
+func UnmanagedMix() proc.Workload {
+	dgemm := proc.Spec{
+		Name:    "dgemm",
+		Threads: 1,
+		Program: proc.Program{{
+			Name: "dgemm", Instr: 2e8, WSS: pp.MB(2.4), Reuse: pp.ReuseHigh,
+			AccessesPerInstr: 0.3, PrivateHitFrac: 0.85, StreamFrac: 0.05,
+			FlopsPerInstr: 0.5, Declared: true,
+		}},
+	}
+	hog := proc.Spec{
+		Name:    "hog",
+		Threads: 1,
+		Program: proc.Program{{
+			// LLC-intensive but uninstrumented: Declared is false.
+			Name: "hog", Instr: 6e8, WSS: pp.MB(7.5), Reuse: pp.ReuseHigh,
+			AccessesPerInstr: 0.35, PrivateHitFrac: 0.8, StreamFrac: 0.2,
+			FlopsPerInstr: 0.1,
+		}},
+	}
+	w := proc.Workload{Name: "unmanaged-mix"}
+	w.Procs = append(w.Procs, proc.Replicate(dgemm, 24)...)
+	w.Procs = append(w.Procs, proc.Replicate(hog, 2)...)
+	return w
+}
+
+// BandwidthMix builds E3's scenario: twenty-four pure-streaming processes
+// (BLAS-1-like: no temporal reuse, heavy DRAM traffic). With declareBW,
+// each period additionally declares its ~1.6 GB/s streaming rate as a
+// ResourceMemBW demand, so the predicate stops admitting streamers once
+// the DRAM roofline is spoken for — instead of burning core power on
+// threads that can only wait for memory.
+func BandwidthMix(declareBW bool) proc.Workload {
+	// One streamer sustains ~1.49 GB/s alone (CPI ≈ 10.2 at h = 0 with
+	// these parameters, times 0.125 LLC-reaching accesses per instruction
+	// and 64-byte lines). Declaring the true rate lets admission fill the
+	// 14 GB/s roofline with nine streamers instead of wasting cores.
+	const perThreadBW = 1.49e9
+	ph := proc.Phase{
+		Name: "stream", Instr: 2e8, WSS: pp.MB(0.6), Reuse: pp.ReuseLow,
+		AccessesPerInstr: 0.5, PrivateHitFrac: 0.75, StreamFrac: 1.0,
+		FlopsPerInstr: 0.3, Declared: true,
+	}
+	if declareBW {
+		ph.BWDemand = perThreadBW
+	}
+	spec := proc.Spec{Name: "streamer", Threads: 1, Program: proc.Program{ph}}
+	name := "bandwidth-mix"
+	if declareBW {
+		name += "-declared"
+	}
+	return proc.Workload{Name: name, Procs: proc.Replicate(spec, 24)}
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+// Input scaling (Figures 12 and 13).
+//
+// The paper profiles water_nsquared at 8000/15625/32768/64000 molecules
+// and ocean_cp at 514/1026/2050/4098 cells, observing that working-set
+// sizes grow "in the shape of a logarithmic curve" with input size. The
+// true WSS functions below are c₁·ln(1 + c₂·input) plus a small
+// square-root component (neighbour lists, boundary cells). Over the
+// profiled input range c₂·input sits in the transition region of the
+// log, where the curve is convex in ln(input) — so the paper's pure
+// y = A + B·ln(x) regression systematically underpredicts the held-out
+// fourth point, landing in the 80–95% accuracy band it reports rather
+// than being exact.
+
+// WaterNsqInputs are the four profiled molecule counts (1x, 2x, 4x, 8x).
+var WaterNsqInputs = []int{8000, 15625, 32768, 64000}
+
+// OceanInputs are the four profiled grid sizes (1x, 2x, 4x, 8x).
+var OceanInputs = []int{514, 1026, 2050, 4098}
+
+// WaterNsqPPWSS returns the true working-set size of water_nsquared's
+// top-two progress periods (ppIdx 1 or 2) at a molecule count.
+func WaterNsqPPWSS(ppIdx, molecules int) pp.Bytes {
+	m := float64(molecules)
+	var mb float64
+	switch ppIdx {
+	// Calibrated to the Figure 13 premises: PP1(8000) ≈ 2.5 MB (six
+	// instances fit the 15 MB LLC at the 8000-molecule input, twelve do
+	// not), PP1(3375) ≈ 1.25 MB (twelve instances still fit — the paper
+	// sees 3375 "scale fairly well"), PP1(32768) ≈ 6 MB (even six
+	// oversubscribe — memory-bound regime). Table 2 lists 3.6 MB for the
+	// workload's aggregate periods; the figure's single-period set is
+	// smaller — the paper's own §4.4 numbers imply PP1 ∈ (1.28, 2.56] MB.
+	case 1:
+		mb = 4.0*math.Log(1+0.0001*m) + 0.0015*math.Sqrt(m)
+	case 2:
+		mb = 3.6*math.Log(1+0.0001*m) + 0.0015*math.Sqrt(m)
+	default:
+		panic(fmt.Sprintf("workloads: water_nsq has top periods 1 and 2, not %d", ppIdx))
+	}
+	return pp.MB(mb)
+}
+
+// OceanPPWSS returns the true working-set size of ocean_cp's top-two
+// progress periods at a grid size (cells per side).
+func OceanPPWSS(ppIdx, cells int) pp.Bytes {
+	c := float64(cells)
+	var mb float64
+	switch ppIdx {
+	case 1:
+		mb = 2.85*math.Log(1+0.002*c) + 0.004*math.Sqrt(c)
+	case 2:
+		mb = 1.0*math.Log(1+0.002*c) + 0.0022*math.Sqrt(c)
+	default:
+		panic(fmt.Sprintf("workloads: ocean_cp has top periods 1 and 2, not %d", ppIdx))
+	}
+	return pp.MB(mb)
+}
+
+// WaterNsqLargestPP builds the Figure 13 experiment: `instances`
+// concurrent single-threaded processes each running only water_nsquared's
+// longest progress period at the given molecule count. The paper runs
+// this under the strict policy with 1, 6, and 12 instances and inputs
+// 512, 3375, 8000, and 32768.
+func WaterNsqLargestPP(molecules, instances int) (proc.Workload, error) {
+	if molecules <= 0 || instances <= 0 {
+		return proc.Workload{}, fmt.Errorf("workloads: invalid fig13 parameters (%d molecules, %d instances)", molecules, instances)
+	}
+	a, _ := splashByName("water_nsq")
+	// Period length scales with the O(n²) interaction count, normalized
+	// to the Table 2 period length at the default 8000-molecule input.
+	scale := float64(molecules) * float64(molecules) / (8000.0 * 8000.0)
+	ph := proc.Phase{
+		Name:             fmt.Sprintf("wnsq-pp1-%dmol", molecules),
+		Instr:            a.periodInstr * scale,
+		WSS:              WaterNsqPPWSS(1, molecules),
+		Reuse:            pp.ReuseHigh,
+		AccessesPerInstr: a.accessesPerInstr, PrivateHitFrac: a.privateHitFrac,
+		StreamFrac: a.streamFrac, FlopsPerInstr: a.flopsPerInstr,
+		Declared: true,
+	}
+	spec := proc.Spec{Name: "wnsq-pp1", Threads: 1, Program: proc.Program{ph}}
+	return proc.Workload{
+		Name:  fmt.Sprintf("wnsq-pp1-%dx%d", molecules, instances),
+		Procs: proc.Replicate(spec, instances),
+	}, nil
+}
+
+// Fig13Inputs are the molecule counts of Figure 13.
+var Fig13Inputs = []int{512, 3375, 8000, 32768}
+
+// Fig13Instances are the concurrency levels of Figure 13.
+var Fig13Instances = []int{1, 6, 12}

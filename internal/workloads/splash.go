@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+)
+
+// splashApp describes one SPLASH-2 application's Table 2 shape: process
+// and thread counts, and its sequence of progress periods (working set +
+// reuse each). Between consecutive periods sits an undeclared
+// synchronization phase ending in a barrier — the paper requires blocking
+// synchronization to stay *outside* progress periods (§3.4), so each
+// computational step is [declared period][undeclared sync + barrier].
+type splashApp struct {
+	name    string
+	procs   int
+	threads int
+	periods []splashPeriod
+	// perf parameters shared by the app's periods.
+	accessesPerInstr float64
+	privateHitFrac   float64
+	streamFrac       float64
+	flopsPerInstr    float64
+	// periodInstr is the per-thread instruction count of each period.
+	periodInstr float64
+	// taskPool marks apps whose parallel runtime uses a task pool (§3.4
+	// handling applies: deny one → park the pool).
+	taskPool bool
+}
+
+type splashPeriod struct {
+	wss   pp.Bytes
+	reuse pp.Reuse
+}
+
+// splashApps returns the five Table 2 applications.
+//
+// Working-set sizes and reuse levels are Table 2 verbatim. Streaming
+// fractions follow each code's structure: water_spatial sweeps its cell
+// grid with little temporal reuse (the paper groups it with the low-reuse
+// workloads that RDA should *not* help); water_nsquared's O(n²) molecule
+// interactions re-touch the molecule array heavily; ocean's stencil
+// phases mix streamed grids with reused boundary data; raytrace and
+// volrend re-traverse scene/volume structures intensively.
+func splashApps() []splashApp {
+	return []splashApp{
+		{
+			name: "water_sp", procs: 12, threads: 2,
+			periods: []splashPeriod{
+				{pp.MB(1.6), pp.ReuseLow}, {pp.MB(1.3), pp.ReuseLow},
+				{pp.MB(1.3), pp.ReuseLow}, {pp.MB(1.6), pp.ReuseLow},
+			},
+			accessesPerInstr: 0.35, privateHitFrac: 0.85, streamFrac: 0.8,
+			flopsPerInstr: 0.3, periodInstr: 8e7,
+		},
+		{
+			name: "water_nsq", procs: 12, threads: 2,
+			periods: []splashPeriod{
+				{pp.MB(3.6), pp.ReuseHigh}, {pp.MB(3.6), pp.ReuseHigh}, {pp.MB(3.7), pp.ReuseHigh},
+			},
+			accessesPerInstr: 0.35, privateHitFrac: 0.75, streamFrac: 0.1,
+			flopsPerInstr: 0.35, periodInstr: 1.2e8,
+		},
+		{
+			name: "ocean_cp", procs: 48, threads: 2,
+			periods: []splashPeriod{
+				{pp.MB(2.1), pp.ReuseHigh}, {pp.MB(0.76), pp.ReuseMed},
+				{pp.MB(1.5), pp.ReuseHigh}, {pp.MB(0.59), pp.ReuseMed},
+			},
+			accessesPerInstr: 0.35, privateHitFrac: 0.8, streamFrac: 0.3,
+			flopsPerInstr: 0.3, periodInstr: 5e7,
+		},
+		{
+			name: "raytrace", procs: 48, threads: 4,
+			periods: []splashPeriod{
+				{pp.MB(5.1), pp.ReuseHigh}, {pp.MB(5.2), pp.ReuseHigh},
+			},
+			accessesPerInstr: 0.3, privateHitFrac: 0.78, streamFrac: 0.1,
+			flopsPerInstr: 0.25, periodInstr: 6e7, taskPool: true,
+		},
+		{
+			name: "volrend", procs: 48, threads: 4,
+			periods: []splashPeriod{
+				{pp.MB(1.8), pp.ReuseHigh}, {pp.MB(1.7), pp.ReuseHigh},
+			},
+			accessesPerInstr: 0.3, privateHitFrac: 0.8, streamFrac: 0.15,
+			flopsPerInstr: 0.25, periodInstr: 6e7, taskPool: true,
+		},
+	}
+}
+
+// spec builds the per-thread program of one application instance.
+func (a splashApp) spec() proc.Spec {
+	prog := proc.Program{{
+		Name: a.name + "-init", Instr: a.periodInstr * 0.02, WSS: pp.MB(0.5),
+		Reuse: pp.ReuseLow, AccessesPerInstr: 0.4, PrivateHitFrac: 0.9,
+		StreamFrac: 1, FlopsPerInstr: 0, BarrierAfter: true,
+	}}
+	for i, per := range a.periods {
+		prog = append(prog, proc.Phase{
+			Name: fmt.Sprintf("%s-pp%d", a.name, i+1), Instr: a.periodInstr,
+			WSS: per.wss, Reuse: per.reuse,
+			AccessesPerInstr: a.accessesPerInstr, PrivateHitFrac: a.privateHitFrac,
+			StreamFrac: a.streamFrac, FlopsPerInstr: a.flopsPerInstr,
+			Declared: true,
+		})
+		prog = append(prog, proc.Phase{
+			Name: fmt.Sprintf("%s-sync%d", a.name, i+1), Instr: a.periodInstr * 0.03,
+			WSS: pp.KB(256), Reuse: pp.ReuseLow, AccessesPerInstr: 0.3,
+			PrivateHitFrac: 0.9, StreamFrac: 1, FlopsPerInstr: 0,
+			BarrierAfter: true,
+		})
+	}
+	return proc.Spec{Name: a.name, Threads: a.threads, Program: prog, TaskPool: a.taskPool}
+}
+
+// workload instantiates the application's Table 2 process count.
+func (a splashApp) workload() proc.Workload {
+	return proc.Workload{Name: a.name, Procs: proc.Replicate(a.spec(), a.procs)}
+}
+
+func splashByName(name string) (splashApp, bool) {
+	for _, a := range splashApps() {
+		if a.name == name {
+			return a, true
+		}
+	}
+	return splashApp{}, false
+}
+
+// WaterSp is the water_spatial workload (12 procs × 2 threads, low reuse).
+func WaterSp() proc.Workload { a, _ := splashByName("water_sp"); return a.workload() }
+
+// WaterNsq is the water_nsquared workload (12 × 2, high reuse).
+func WaterNsq() proc.Workload { a, _ := splashByName("water_nsq"); return a.workload() }
+
+// OceanCp is the ocean_contiguous-partitions workload (48 × 2, mixed reuse).
+func OceanCp() proc.Workload { a, _ := splashByName("ocean_cp"); return a.workload() }
+
+// Raytrace is the raytrace workload (48 × 4, high reuse, task pool).
+func Raytrace() proc.Workload { a, _ := splashByName("raytrace"); return a.workload() }
+
+// Volrend is the volrend workload (48 × 4, high reuse, task pool).
+func Volrend() proc.Workload { a, _ := splashByName("volrend"); return a.workload() }

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"rdasched/internal/memtrace"
+	"rdasched/internal/pp"
+	"rdasched/internal/profiler"
+)
+
+// Trace generation for the §4.4 profiling experiments (Figure 12). These
+// streams stand in for PIN instrumentation of the real water_nsquared
+// and ocean_cp binaries: each application alternates initialization /
+// synchronization filler with its top-two progress periods, whose hot
+// working sets follow the input-scaled WSS curves in scaling.go. The
+// profiler must *measure* those sizes back out of the raw address
+// stream.
+
+// Fig12ProfilerConfig returns the profiler granularity used for the
+// Figure 12 runs: 2M-instruction windows, 256-byte entries, entries
+// touched ≥3 times count toward the working set, periods span ≥3
+// windows.
+func Fig12ProfilerConfig() profiler.Config {
+	return profiler.Config{
+		WindowInstr:    2_000_000,
+		MinPeriodInstr: 6_000_000,
+		EntryBytes:     256,
+		MinTouches:     3,
+		SimilarityTol:  0.3,
+		ReuseTolFactor: 4,
+	}
+}
+
+const fig12Window = 2_000_000
+
+// traceSites: JMP site numbering convention for the synthetic binaries.
+const (
+	siteInit = 1
+	siteSync = 2
+	sitePP1  = 11
+	sitePP2  = 12
+	// Inner-loop sites: the dominant JMPs actually retired inside each
+	// period (the profiler must map them to the outermost loops).
+	sitePP1Inner = 21
+	sitePP2Inner = 22
+)
+
+// appTrace builds the phase list shared by both applications: init, PP1,
+// sync, PP2, sync, with per-period hot sets and reference densities.
+func appTrace(seed uint64, wss1, wss2 pp.Bytes, refs1, refs2 float64) *memtrace.PhasedStream {
+	// Cold regions are sized so one window's cold sweep never wraps:
+	// wrapped sweeps would re-touch streamed entries past the profiler's
+	// MinTouches threshold and masquerade as working set.
+	filler := func(name string, site int) memtrace.PhaseSpec {
+		return memtrace.PhaseSpec{
+			Name: name, Instr: fig12Window, RefsPerInstr: 0.1,
+			HotBytes: 64 * pp.KiB, ColdBytes: 256 * pp.MiB, HotFrac: 0.2,
+			Site: site, JumpEvery: 4096,
+		}
+	}
+	period := func(name string, wss pp.Bytes, refs float64, site int) memtrace.PhaseSpec {
+		return memtrace.PhaseSpec{
+			Name: name, Instr: 5 * fig12Window, RefsPerInstr: refs,
+			HotBytes: wss, ColdBytes: 256 * pp.MiB, HotFrac: 0.99,
+			Site: site, JumpEvery: 2048,
+		}
+	}
+	return memtrace.NewPhasedStream(seed,
+		filler("init", siteInit),
+		period("pp1", wss1, refs1, sitePP1Inner),
+		filler("sync1", siteSync),
+		period("pp2", wss2, refs2, sitePP2Inner),
+		filler("sync2", siteSync),
+	)
+}
+
+// WaterNsqTrace returns the PIN-style trace of water_nsquared at a
+// molecule count, plus the parsed loop structure of its binary. Both
+// periods have high reuse (dense re-touching of the molecule arrays).
+func WaterNsqTrace(molecules int, seed uint64) (*memtrace.PhasedStream, *profiler.Binary) {
+	s := appTrace(seed,
+		WaterNsqPPWSS(1, molecules), WaterNsqPPWSS(2, molecules),
+		0.45, 0.45)
+	bin, err := NewWaterNsqBinary()
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return s, bin
+}
+
+// NewWaterNsqBinary returns the loop-nest structure of the
+// water_nsquared binary: the two hot periods live in the INTERF and
+// POTENG outer loops.
+func NewWaterNsqBinary() (*profiler.Binary, error) {
+	return profiler.NewBinary([]profiler.Loop{
+		{ID: 0, Parent: -1, Name: "main-loop", Sites: []int{siteInit, siteSync}},
+		{ID: 1, Parent: -1, Name: "interf", Sites: []int{sitePP1}},
+		{ID: 2, Parent: 1, Name: "interf-pair", Sites: []int{sitePP1Inner}},
+		{ID: 3, Parent: -1, Name: "poteng", Sites: []int{sitePP2}},
+		{ID: 4, Parent: 3, Name: "poteng-pair", Sites: []int{sitePP2Inner}},
+	})
+}
+
+// OceanTrace returns the trace of ocean_cp at a grid size plus its
+// binary structure. PP1 (the slave2 stencil) has high reuse; PP2 (the
+// relax sweep) has medium reuse — lower reference density over a smaller
+// hot set.
+func OceanTrace(cells int, seed uint64) (*memtrace.PhasedStream, *profiler.Binary) {
+	s := appTrace(seed,
+		OceanPPWSS(1, cells), OceanPPWSS(2, cells),
+		0.45, 0.04)
+	bin, err := NewOceanBinary()
+	if err != nil {
+		panic(err)
+	}
+	return s, bin
+}
+
+// NewOceanBinary returns ocean_cp's loop structure: the paper's §6
+// example — slave2 contains multiple periods, relax is one uniform
+// period.
+func NewOceanBinary() (*profiler.Binary, error) {
+	return profiler.NewBinary([]profiler.Loop{
+		{ID: 0, Parent: -1, Name: "main-loop", Sites: []int{siteInit, siteSync}},
+		{ID: 1, Parent: -1, Name: "slave2", Sites: []int{sitePP1}},
+		{ID: 2, Parent: 1, Name: "slave2-stencil", Sites: []int{sitePP1Inner}},
+		{ID: 3, Parent: -1, Name: "relax", Sites: []int{sitePP2}},
+		{ID: 4, Parent: 3, Name: "relax-row", Sites: []int{sitePP2Inner}},
+	})
+}

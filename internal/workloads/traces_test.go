@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/profiler"
+)
+
+// profileApp runs the Fig 12 pipeline on one trace and returns the
+// periods sorted as produced (PP1 then PP2).
+func profileApp(t *testing.T, app string, input int) []profiler.Period {
+	t.Helper()
+	var periods []profiler.Period
+	var err error
+	switch app {
+	case "wnsq":
+		s, bin := WaterNsqTrace(input, 42)
+		periods, err = profiler.Profile(s, Fig12ProfilerConfig(), bin)
+	case "ocean":
+		s, bin := OceanTrace(input, 42)
+		periods, err = profiler.Profile(s, Fig12ProfilerConfig(), bin)
+	default:
+		t.Fatalf("unknown app %q", app)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return periods
+}
+
+// topTwo filters the detected periods down to the two largest by WSS,
+// preserving order.
+func topTwo(periods []profiler.Period) []profiler.Period {
+	var out []profiler.Period
+	for _, p := range periods {
+		if p.WSS >= pp.MB(0.3) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestWaterNsqTraceProfilesToTwoPeriods(t *testing.T) {
+	periods := topTwo(profileApp(t, "wnsq", 8000))
+	if len(periods) != 2 {
+		t.Fatalf("top periods = %d, want 2", len(periods))
+	}
+	for i, p := range periods {
+		want := WaterNsqPPWSS(i+1, 8000)
+		acc := 1 - math.Abs(float64(p.WSS-want))/float64(want)
+		if acc < 0.85 {
+			t.Errorf("PP%d measured WSS %v vs true %v (accuracy %.2f)", i+1, p.WSS, want, acc)
+		}
+		if p.Reuse != pp.ReuseHigh {
+			t.Errorf("PP%d reuse = %v (ratio %.1f), want high", i+1, p.Reuse, p.ReuseRatio)
+		}
+	}
+}
+
+func TestWaterNsqLoopAttribution(t *testing.T) {
+	bin, err := NewWaterNsqBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods := topTwo(profileApp(t, "wnsq", 8000))
+	if len(periods) != 2 {
+		t.Fatalf("periods = %d", len(periods))
+	}
+	if got := bin.Name(periods[0].LoopID); got != "interf" {
+		t.Errorf("PP1 attributed to %q, want interf (outermost loop)", got)
+	}
+	if got := bin.Name(periods[1].LoopID); got != "poteng" {
+		t.Errorf("PP2 attributed to %q, want poteng", got)
+	}
+}
+
+func TestOceanTraceReuseLevels(t *testing.T) {
+	periods := topTwo(profileApp(t, "ocean", 514))
+	if len(periods) != 2 {
+		t.Fatalf("top periods = %d, want 2", len(periods))
+	}
+	if periods[0].Reuse != pp.ReuseHigh {
+		t.Errorf("ocean PP1 reuse = %v (ratio %.1f), want high", periods[0].Reuse, periods[0].ReuseRatio)
+	}
+	if periods[1].Reuse != pp.ReuseMed {
+		t.Errorf("ocean PP2 reuse = %v (ratio %.1f), want med", periods[1].Reuse, periods[1].ReuseRatio)
+	}
+}
+
+func TestMeasuredWSSGrowsWithInput(t *testing.T) {
+	var prev pp.Bytes
+	for _, m := range []int{8000, 32768} {
+		periods := topTwo(profileApp(t, "wnsq", m))
+		if len(periods) != 2 {
+			t.Fatalf("periods at %d molecules = %d", m, len(periods))
+		}
+		if periods[0].WSS <= prev {
+			t.Fatalf("PP1 WSS did not grow with input: %v after %v", periods[0].WSS, prev)
+		}
+		prev = periods[0].WSS
+	}
+}
+
+func TestOceanMeasurementAccuracy(t *testing.T) {
+	for _, c := range []int{514, 2050} {
+		periods := topTwo(profileApp(t, "ocean", c))
+		if len(periods) != 2 {
+			t.Fatalf("periods at %d cells = %d", c, len(periods))
+		}
+		for i, p := range periods {
+			want := OceanPPWSS(i+1, c)
+			acc := 1 - math.Abs(float64(p.WSS-want))/float64(want)
+			if acc < 0.8 {
+				t.Errorf("cells=%d PP%d measured %v vs true %v (accuracy %.2f)",
+					c, i+1, p.WSS, want, acc)
+			}
+		}
+	}
+}

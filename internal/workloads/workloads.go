@@ -1,0 +1,35 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rdasched/internal/proc"
+)
+
+// Table2 returns the eight workloads in the paper's Table 2 order.
+func Table2() []proc.Workload {
+	return []proc.Workload{
+		BLAS1(), BLAS2(), BLAS3(),
+		WaterSp(), WaterNsq(), OceanCp(), Raytrace(), Volrend(),
+	}
+}
+
+// Names returns the Table 2 workload names in order.
+func Names() []string {
+	ws := Table2()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// ByName looks a workload up by its Table 2 name.
+func ByName(name string) (proc.Workload, error) {
+	for _, w := range Table2() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return proc.Workload{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+}
