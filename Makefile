@@ -1,13 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all test vet bench experiments examples cover clean
+.PHONY: all test race fuzz vet bench experiments examples cover clean
 
 all: test
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+# The experiment harnesses fan replications out across goroutines
+# (internal/runner); the race detector is part of the default verify
+# path so a data race in that layer can never land silently.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the committed corpus (internal/core/testdata/fuzz).
+# `go test` only fuzzes one target per invocation, so run them in turn.
+fuzz:
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzSchedulerInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDeterminism -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

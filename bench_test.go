@@ -9,6 +9,8 @@ package rdasched_test
 // regenerates the full-scale versions recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"rdasched/internal/core"
@@ -19,11 +21,17 @@ import (
 	"rdasched/internal/workloads"
 )
 
+// benchJobs is the worker count the evaluation benchmarks run with. The
+// experiment output is bit-identical for any value (see
+// internal/runner); parallelism only changes wall-clock time.
+var benchJobs = runtime.GOMAXPROCS(0)
+
 func benchOpts() experiments.Options {
 	o := experiments.Defaults()
 	o.Repetitions = 1
 	o.JitterFrac = 0
 	o.Scale = 0.1
+	o.Jobs = benchJobs
 	return o
 }
 
@@ -136,6 +144,27 @@ func BenchmarkFig13Interference(b *testing.B) {
 		cliff = g12 / g6
 	}
 	b.ReportMetric(cliff, "8000mol-12/6-scaling")
+}
+
+// BenchmarkExperimentsParallel contrasts Jobs=1 with Jobs=GOMAXPROCS on
+// a scaled-down policy comparison (4 repetitions with jitter, like the
+// paper's measurement protocol, so there are 24 replications to fan
+// out). The two sub-benchmarks compute identical tables — compare their
+// ns/op to read the parallel speedup on a multi-core host.
+func BenchmarkExperimentsParallel(b *testing.B) {
+	ws := []proc.Workload{workloads.BLAS3(), workloads.WaterNsq()}
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			o := experiments.Defaults()
+			o.Scale = 0.1
+			o.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunPolicyComparison(ws, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations (design choices from DESIGN.md §5) ---

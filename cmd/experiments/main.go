@@ -8,12 +8,18 @@
 //	experiments -fig 7             # system energy comparison
 //	experiments -fig 13 -scale 0.2 # quick, shape-preserving run
 //	experiments -all -markdown     # output for EXPERIMENTS.md
+//	experiments -all -jobs 8       # 8 concurrent replications (same output)
+//
+// Replications fan out across -jobs workers (default: all cores); the
+// tables are bit-identical for every worker count because each
+// replication's seed derives from -seed and its job index alone.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rdasched/internal/experiments"
 	"rdasched/internal/report"
@@ -30,6 +36,7 @@ func main() {
 		reps     = flag.Int("reps", 4, "repetitions per measurement")
 		jitter   = flag.Float64("jitter", 0.02, "run-to-run variation")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent replications (output is identical for any value)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	)
 	flag.Parse()
@@ -39,6 +46,7 @@ func main() {
 	opt.Repetitions = *reps
 	opt.JitterFrac = *jitter
 	opt.Seed = *seed
+	opt.Jobs = *jobs
 
 	emit := func(t *report.Table) {
 		if *markdown {

@@ -7,6 +7,7 @@ import (
 	"rdasched/internal/cache"
 	"rdasched/internal/pp"
 	"rdasched/internal/report"
+	"rdasched/internal/runner"
 	"rdasched/internal/sim"
 )
 
@@ -34,7 +35,9 @@ type CalibrationResult struct {
 }
 
 // RunCalibration replays random and cyclic co-run patterns at several
-// pressure levels through the Table 1 cache hierarchy.
+// pressure levels through the Table 1 cache hierarchy. Each (pressure,
+// pattern) replay builds a private hierarchy and RNG, so the replays
+// run concurrently on opt.Jobs workers.
 func RunCalibration(opt Options) (*CalibrationResult, error) {
 	opt = opt.normalized()
 	gamma := opt.Machine.ResidencyExponent
@@ -47,6 +50,7 @@ func RunCalibration(opt Options) (*CalibrationResult, error) {
 		sweeps = 3
 	}
 
+	var points []CalibrationPoint
 	for _, tc := range []struct {
 		threads int
 		wss     pp.Bytes
@@ -62,16 +66,23 @@ func RunCalibration(opt Options) (*CalibrationResult, error) {
 			r = float64(capacity) / float64(total)
 		}
 		for _, pattern := range []string{"random", "cyclic"} {
-			hit, err := replayPattern(hc, tc.threads, tc.wss, pattern, sweeps, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, CalibrationPoint{
+			points = append(points, CalibrationPoint{
 				Threads: tc.threads, WSS: tc.wss, Residency: r,
-				Pattern: pattern, HitRate: hit, ModelHit: math.Pow(r, gamma),
+				Pattern: pattern, ModelHit: math.Pow(r, gamma),
 			})
 		}
 	}
+	hits, err := runner.Map(opt.Jobs, len(points), func(i int) (float64, error) {
+		p := points[i]
+		return replayPattern(hc, p.Threads, p.WSS, p.Pattern, sweeps, opt.Seed)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i := range points {
+		points[i].HitRate = hits[i]
+	}
+	res.Points = points
 	return res, nil
 }
 

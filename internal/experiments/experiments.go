@@ -8,12 +8,14 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"rdasched/internal/core"
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
+	"rdasched/internal/runner"
 )
 
 // Options configures an experiment run.
@@ -31,6 +33,12 @@ type Options struct {
 	// preserve shapes, not magnitudes; the committed EXPERIMENTS.md uses
 	// full size.
 	Scale float64
+	// Jobs bounds how many replications run concurrently; 0 selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical for every value of
+	// Jobs, including 1: each replication derives its randomness from
+	// Seed and its stable job index (runner.Seed), never from execution
+	// order, and results are collected by index.
+	Jobs int
 }
 
 // Defaults returns the paper's measurement setup: Table 1 machine, four
@@ -54,7 +62,68 @@ func (o Options) normalized() Options {
 	if o.Scale <= 0 || o.Scale > 1 {
 		o.Scale = 1
 	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// cell is one measured configuration (a sweep point under a policy) in
+// a harness's fixed enumeration order. The rc.Seed field is left zero:
+// measure derives each replication's seed from the experiment seed and
+// the replication's global job index.
+type cell struct {
+	label string
+	w     proc.Workload
+	rc    perf.RunConfig
+}
+
+// measured is a cell's aggregate over its repetitions.
+type measured struct {
+	Mean, StdDev perf.Metrics
+}
+
+// measure fans every repetition of every cell out across opt.Jobs
+// workers and returns per-cell aggregates in cell order. Replications
+// are flattened to a stable global job index (cells in order,
+// repetitions within a cell), and job i runs with the derived seed
+// runner.Seed(opt.Seed, i): the measurement each job produces is a pure
+// function of its coordinates, so the worker count can never change the
+// result — only how long it takes. A replication that panics surfaces
+// as a labeled error; its siblings still complete.
+func measure(cells []cell, opt Options) ([]measured, error) {
+	var jobCell, jobRep []int
+	for ci := range cells {
+		for r := 0; r < cells[ci].rc.Reps(); r++ {
+			jobCell = append(jobCell, ci)
+			jobRep = append(jobRep, r)
+		}
+	}
+	samples, err := runner.Map(opt.Jobs, len(jobCell), func(i int) (perf.Metrics, error) {
+		c := cells[jobCell[i]]
+		rc := c.rc
+		rc.Seed = runner.Seed(opt.Seed, uint64(i))
+		m, err := perf.Sample(c.w, rc, 0)
+		if err != nil {
+			return perf.Metrics{}, fmt.Errorf("%s (rep %d): %w", c.label, jobRep[i], err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]measured, len(cells))
+	idx := 0
+	for ci := range cells {
+		n := cells[ci].rc.Reps()
+		mean, sd, err := perf.Aggregate(samples[idx : idx+n])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[ci].label, err)
+		}
+		out[ci] = measured{Mean: mean, StdDev: sd}
+		idx += n
+	}
+	return out, nil
 }
 
 // scaleWorkload shrinks a workload's per-phase instruction counts. The
@@ -93,24 +162,38 @@ type PolicyRow struct {
 }
 
 // RunPolicyComparison measures the given workloads under all three
-// policies — the data behind Figures 7, 8, 9, and 10.
+// policies — the data behind Figures 7, 8, 9, and 10. The (workload,
+// policy, repetition) replications run concurrently on opt.Jobs
+// workers.
 func RunPolicyComparison(ws []proc.Workload, opt Options) ([]PolicyRow, error) {
 	opt = opt.normalized()
-	var rows []PolicyRow
+	var cells []cell
 	for _, w := range ws {
 		sw := scaleWorkload(w, opt.Scale)
 		for _, p := range Policies() {
-			mean, sd, err := perf.Run(sw, perf.RunConfig{
-				Machine:     opt.Machine,
-				Policy:      p.Policy,
-				Repetitions: opt.Repetitions,
-				JitterFrac:  opt.JitterFrac,
-				Seed:        opt.Seed,
+			cells = append(cells, cell{
+				label: fmt.Sprintf("%s under %s", w.Name, p.Name),
+				w:     sw,
+				rc: perf.RunConfig{
+					Machine:     opt.Machine,
+					Policy:      p.Policy,
+					Repetitions: opt.Repetitions,
+					JitterFrac:  opt.JitterFrac,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, p.Name, err)
-			}
-			rows = append(rows, PolicyRow{Workload: w.Name, Policy: p.Name, Mean: mean, StdDev: sd})
+		}
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	rows := make([]PolicyRow, 0, len(cells))
+	i := 0
+	for _, w := range ws {
+		for _, p := range Policies() {
+			rows = append(rows, PolicyRow{Workload: w.Name, Policy: p.Name,
+				Mean: ms[i].Mean, StdDev: ms[i].StdDev})
+			i++
 		}
 	}
 	return rows, nil

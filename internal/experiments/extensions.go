@@ -61,19 +61,25 @@ func RunPartitioning(opt Options) (*ExtensionResult, error) {
 		{"unpartitioned", 0},
 		{"0.5MB partition", pp.MB(0.5)},
 	}
+	var cells []cell
 	for _, v := range variants {
-		w := scaleWorkload(workloads.StreamingMix(v.partition), opt.Scale)
-		mean, _, err := perf.Run(w, perf.RunConfig{
-			Machine:     opt.Machine,
-			Policy:      core.StrictPolicy{},
-			Repetitions: opt.Repetitions,
-			JitterFrac:  opt.JitterFrac,
-			Seed:        opt.Seed,
+		cells = append(cells, cell{
+			label: fmt.Sprintf("E1 %s", v.name),
+			w:     scaleWorkload(workloads.StreamingMix(v.partition), opt.Scale),
+			rc: perf.RunConfig{
+				Machine:     opt.Machine,
+				Policy:      core.StrictPolicy{},
+				Repetitions: opt.Repetitions,
+				JitterFrac:  opt.JitterFrac,
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E1 %s: %w", v.name, err)
-		}
-		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: mean})
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i, v := range variants {
+		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: ms[i].Mean})
 	}
 	return res, nil
 }
@@ -95,19 +101,26 @@ func RunReserve(opt Options) (*ExtensionResult, error) {
 		{"5MB reserve", pp.MB(5)},
 	}
 	w := scaleWorkload(workloads.UnmanagedMix(), opt.Scale)
+	var cells []cell
 	for _, v := range variants {
-		mean, _, err := perf.Run(w, perf.RunConfig{
-			Machine:     opt.Machine,
-			Policy:      core.StrictPolicy{},
-			Reserve:     v.reserve,
-			Repetitions: opt.Repetitions,
-			JitterFrac:  opt.JitterFrac,
-			Seed:        opt.Seed,
+		cells = append(cells, cell{
+			label: fmt.Sprintf("E2 %s", v.name),
+			w:     w,
+			rc: perf.RunConfig{
+				Machine:     opt.Machine,
+				Policy:      core.StrictPolicy{},
+				Reserve:     v.reserve,
+				Repetitions: opt.Repetitions,
+				JitterFrac:  opt.JitterFrac,
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E2 %s: %w", v.name, err)
-		}
-		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: mean})
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i, v := range variants {
+		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: ms[i].Mean})
 	}
 	return res, nil
 }
@@ -121,25 +134,32 @@ func RunReserve(opt Options) (*ExtensionResult, error) {
 func RunBandwidth(opt Options) (*ExtensionResult, error) {
 	opt = opt.normalized()
 	res := &ExtensionResult{Name: "Extension E3: bandwidth-aware admission for streaming mixes (strict policy)"}
-	for _, v := range []struct {
+	variants := []struct {
 		name    string
 		declare bool
 	}{
 		{"LLC demands only", false},
 		{"LLC + bandwidth demands", true},
-	} {
-		w := scaleWorkload(workloads.BandwidthMix(v.declare), opt.Scale)
-		mean, _, err := perf.Run(w, perf.RunConfig{
-			Machine:     opt.Machine,
-			Policy:      core.StrictPolicy{},
-			Repetitions: opt.Repetitions,
-			JitterFrac:  opt.JitterFrac,
-			Seed:        opt.Seed,
+	}
+	var cells []cell
+	for _, v := range variants {
+		cells = append(cells, cell{
+			label: fmt.Sprintf("E3 %s", v.name),
+			w:     scaleWorkload(workloads.BandwidthMix(v.declare), opt.Scale),
+			rc: perf.RunConfig{
+				Machine:     opt.Machine,
+				Policy:      core.StrictPolicy{},
+				Repetitions: opt.Repetitions,
+				JitterFrac:  opt.JitterFrac,
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E3 %s: %w", v.name, err)
-		}
-		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: mean})
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i, v := range variants {
+		res.Rows = append(res.Rows, ExtensionRow{Variant: v.name, Mean: ms[i].Mean})
 	}
 	return res, nil
 }

@@ -34,25 +34,39 @@ type FactorSweepResult struct {
 var FactorSweepValues = []float64{1.0, 1.5, 2.0, 3.0, 4.0}
 
 // RunFactorSweep measures the compromise policy at each factor on the
-// BLAS-3 and water_nsquared workloads.
+// BLAS-3 and water_nsquared workloads, fanning the sweep cells out on
+// opt.Jobs workers.
 func RunFactorSweep(opt Options) (*FactorSweepResult, error) {
 	opt = opt.normalized()
 	res := &FactorSweepResult{Factors: FactorSweepValues}
+	var cells []cell
+	var names []string
 	for _, w := range []proc.Workload{workloads.BLAS3(), workloads.WaterNsq()} {
 		sw := scaleWorkload(w, opt.Scale)
 		for _, x := range FactorSweepValues {
-			mean, _, err := perf.Run(sw, perf.RunConfig{
-				Machine:     opt.Machine,
-				Policy:      core.CompromisePolicy{Factor: x},
-				Repetitions: opt.Repetitions,
-				JitterFrac:  opt.JitterFrac,
-				Seed:        opt.Seed,
+			names = append(names, w.Name)
+			cells = append(cells, cell{
+				label: fmt.Sprintf("factor sweep %s x=%v", w.Name, x),
+				w:     sw,
+				rc: perf.RunConfig{
+					Machine:     opt.Machine,
+					Policy:      core.CompromisePolicy{Factor: x},
+					Repetitions: opt.Repetitions,
+					JitterFrac:  opt.JitterFrac,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: factor sweep %s x=%v: %w", w.Name, x, err)
-			}
-			res.Points = append(res.Points, FactorPoint{Workload: w.Name, Factor: x, Mean: mean})
 		}
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	for i, m := range ms {
+		res.Points = append(res.Points, FactorPoint{
+			Workload: names[i],
+			Factor:   FactorSweepValues[i%len(FactorSweepValues)],
+			Mean:     m.Mean,
+		})
 	}
 	return res, nil
 }

@@ -38,11 +38,11 @@ var Fig11Granularities = []struct {
 
 // RunGranularity reproduces Figure 11: a single dgemm instance is run
 // alone under the strict policy at each progress-tracking granularity,
-// and the attained GFLOPS are compared against the untracked run.
+// and the attained GFLOPS are compared against the untracked run. The
+// four granularities run concurrently on opt.Jobs workers.
 func RunGranularity(opt Options) (*GranularityResult, error) {
 	opt = opt.normalized()
-	res := &GranularityResult{}
-	var baseline float64
+	var cells []cell
 	for _, g := range Fig11Granularities {
 		periods := g.Periods
 		if opt.Scale < 1 && periods > 1 {
@@ -58,20 +58,28 @@ func RunGranularity(opt Options) (*GranularityResult, error) {
 		// Single repetition without jitter: the figure compares the same
 		// kernel against itself, so run-to-run noise would only blur the
 		// overhead measurement.
-		mean, _, err := perf.Run(w, perf.RunConfig{
-			Machine: opt.Machine,
-			Policy:  core.StrictPolicy{},
-			Seed:    opt.Seed,
+		cells = append(cells, cell{
+			label: fmt.Sprintf("granularity %d", g.Periods),
+			w:     w,
+			rc: perf.RunConfig{
+				Machine: opt.Machine,
+				Policy:  core.StrictPolicy{},
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: granularity %d: %w", g.Periods, err)
-		}
-		p := GranularityPoint{Periods: g.Periods, Label: g.Label, GFLOPS: mean.GFLOPS}
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	res := &GranularityResult{}
+	var baseline float64
+	for i, g := range Fig11Granularities {
+		p := GranularityPoint{Periods: g.Periods, Label: g.Label, GFLOPS: ms[i].Mean.GFLOPS}
 		if g.Periods == 0 {
-			baseline = mean.GFLOPS
+			baseline = p.GFLOPS
 		}
 		if baseline > 0 {
-			p.Overhead = 1 - mean.GFLOPS/baseline
+			p.Overhead = 1 - p.GFLOPS/baseline
 		}
 		res.Points = append(res.Points, p)
 	}

@@ -9,6 +9,7 @@ import (
 	"rdasched/internal/profiler"
 	"rdasched/internal/regress"
 	"rdasched/internal/report"
+	"rdasched/internal/runner"
 	"rdasched/internal/workloads"
 )
 
@@ -37,7 +38,10 @@ type WSSPredictionResult struct {
 // RunWSSPrediction profiles water_nsquared and ocean_cp at their four
 // input scales, extracts the top-two progress periods of each via the
 // §2.4 profiler, fits y = A + B·ln(x) on the first three measured
-// working-set sizes, and scores the prediction of the fourth.
+// working-set sizes, and scores the prediction of the fourth. Each
+// (application, input) profiling run is an independent job on opt.Jobs
+// workers; the trace seed is a function of the experiment seed alone,
+// so the profile a job yields does not depend on which worker runs it.
 func RunWSSPrediction(opt Options) (*WSSPredictionResult, error) {
 	opt = opt.normalized()
 	cfg := workloads.Fig12ProfilerConfig()
@@ -52,27 +56,58 @@ func RunWSSPrediction(opt Options) (*WSSPredictionResult, error) {
 		{"ocean_cp", workloads.OceanInputs, workloads.OceanTrace},
 	}
 
+	// One job per (app, input) pair, flattened app-major.
+	type jobRef struct{ app, input int }
+	type profile struct {
+		wss   [2]pp.Bytes
+		loops [2]string
+	}
+	var jobs []jobRef
+	for a, app := range apps {
+		for i := range app.inputs {
+			jobs = append(jobs, jobRef{a, i})
+		}
+	}
+	profiles, err := runner.Map(opt.Jobs, len(jobs), func(j int) (profile, error) {
+		app := apps[jobs[j].app]
+		input := app.inputs[jobs[j].input]
+		stream, bin := app.trace(input, opt.Seed)
+		periods, err := profiler.Profile(stream, cfg, bin)
+		if err != nil {
+			return profile{}, fmt.Errorf("profiling %s@%d: %w", app.name, input, err)
+		}
+		top := topPeriods(periods, 2)
+		if len(top) != 2 {
+			return profile{}, fmt.Errorf("%s@%d: found %d major periods, want 2",
+				app.name, input, len(top))
+		}
+		// Order by appearance (PP1 before PP2).
+		sort.Slice(top, func(i, j int) bool { return top[i].FirstWindow < top[j].FirstWindow })
+		var p profile
+		for k := 0; k < 2; k++ {
+			p.wss[k] = top[k].WSS
+			if bin != nil && top[k].LoopID >= 0 {
+				p.loops[k] = bin.Name(top[k].LoopID)
+			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	next := 0
 	for _, app := range apps {
 		// measured[periodIdx][inputIdx]
 		measured := [2][]pp.Bytes{}
 		loops := [2]string{}
-		for _, input := range app.inputs {
-			stream, bin := app.trace(input, opt.Seed)
-			periods, err := profiler.Profile(stream, cfg, bin)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: profiling %s@%d: %w", app.name, input, err)
-			}
-			top := topPeriods(periods, 2)
-			if len(top) != 2 {
-				return nil, fmt.Errorf("experiments: %s@%d: found %d major periods, want 2",
-					app.name, input, len(top))
-			}
-			// Order by appearance (PP1 before PP2).
-			sort.Slice(top, func(i, j int) bool { return top[i].FirstWindow < top[j].FirstWindow })
+		for range app.inputs {
+			p := profiles[next]
+			next++
 			for k := 0; k < 2; k++ {
-				measured[k] = append(measured[k], top[k].WSS)
-				if bin != nil && top[k].LoopID >= 0 {
-					loops[k] = bin.Name(top[k].LoopID)
+				measured[k] = append(measured[k], p.wss[k])
+				if p.loops[k] != "" {
+					loops[k] = p.loops[k]
 				}
 			}
 		}

@@ -32,7 +32,7 @@ type InterferenceResult struct {
 // interference bends the scaling curve.
 func RunInterference(opt Options) (*InterferenceResult, error) {
 	opt = opt.normalized()
-	res := &InterferenceResult{}
+	var cells []cell
 	for _, mol := range workloads.Fig13Inputs {
 		for _, inst := range workloads.Fig13Instances {
 			w, err := workloads.WaterNsqLargestPP(mol, inst)
@@ -42,19 +42,30 @@ func RunInterference(opt Options) (*InterferenceResult, error) {
 			// Shorten periods for scaled runs; instance counts and
 			// working sets (the interference variables) are preserved.
 			w = scaleWorkload(w, maxf(opt.Scale, 0.05))
-			mean, _, err := perf.Run(w, perf.RunConfig{
-				Machine:     opt.Machine,
-				Policy:      nil,
-				Repetitions: opt.Repetitions,
-				JitterFrac:  opt.JitterFrac,
-				Seed:        opt.Seed,
+			cells = append(cells, cell{
+				label: fmt.Sprintf("fig13 %d×%d", mol, inst),
+				w:     w,
+				rc: perf.RunConfig{
+					Machine:     opt.Machine,
+					Policy:      nil,
+					Repetitions: opt.Repetitions,
+					JitterFrac:  opt.JitterFrac,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig13 %d×%d: %w", mol, inst, err)
-			}
+		}
+	}
+	ms, err := measure(cells, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	res := &InterferenceResult{}
+	i := 0
+	for _, mol := range workloads.Fig13Inputs {
+		for _, inst := range workloads.Fig13Instances {
 			res.Points = append(res.Points, InterferencePoint{
-				Molecules: mol, Instances: inst, GFLOPS: mean.GFLOPS,
+				Molecules: mol, Instances: inst, GFLOPS: ms[i].Mean.GFLOPS,
 			})
+			i++
 		}
 	}
 	return res, nil

@@ -13,6 +13,7 @@ import (
 	"rdasched/internal/machine"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
+	"rdasched/internal/runner"
 	"rdasched/internal/sim"
 )
 
@@ -61,30 +62,41 @@ type RunConfig struct {
 	Seed uint64
 }
 
+// Reps returns the effective repetition count (0 means 1).
+func (rc RunConfig) Reps() int {
+	if rc.Repetitions <= 0 {
+		return 1
+	}
+	return rc.Repetitions
+}
+
 // Run measures a workload and returns the mean metrics and their
 // standard deviation across repetitions.
 func Run(w proc.Workload, rc RunConfig) (mean, stddev Metrics, err error) {
-	if err := w.Validate(); err != nil {
-		return Metrics{}, Metrics{}, err
-	}
-	reps := rc.Repetitions
-	if reps <= 0 {
-		reps = 1
-	}
-	rng := sim.NewRNG(rc.Seed + 0x5eed)
 	var samples []Metrics
-	for i := 0; i < reps; i++ {
-		wi := w
-		if rc.JitterFrac > 0 {
-			wi = jitter(w, rc.JitterFrac, rng.Fork())
-		}
-		m, err := runOnce(wi, rc, uint64(i))
+	for i := 0; i < rc.Reps(); i++ {
+		m, err := Sample(w, rc, i)
 		if err != nil {
 			return Metrics{}, Metrics{}, fmt.Errorf("perf: repetition %d: %w", i, err)
 		}
 		samples = append(samples, m)
 	}
-	return aggregate(samples)
+	return Aggregate(samples)
+}
+
+// Sample measures repetition rep of the configuration. It is a pure
+// function of (w, rc, rep): the jitter stream derives from rc.Seed and
+// rep alone, never from a generator shared across repetitions, so
+// repetitions may run concurrently — in any order, on any worker — and
+// still produce the exact metrics a serial loop would.
+func Sample(w proc.Workload, rc RunConfig, rep int) (Metrics, error) {
+	if err := w.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	if rc.JitterFrac > 0 {
+		w = jitter(w, rc.JitterFrac, sim.NewRNG(runner.Seed(rc.Seed+0x5eed, uint64(rep))))
+	}
+	return runOnce(w, rc, uint64(rep))
 }
 
 func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
@@ -163,7 +175,12 @@ func jitter(w proc.Workload, frac float64, rng *sim.RNG) proc.Workload {
 	return out
 }
 
-func aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
+// Aggregate computes the element-wise mean and standard deviation of a
+// set of repetition samples, in sample order (the order never affects
+// the result beyond float rounding, but callers collecting samples from
+// a worker pool must still pass them in repetition order so the
+// rounding, too, is deterministic).
+func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 	n := float64(len(samples))
 	if n == 0 {
 		return Metrics{}, Metrics{}, fmt.Errorf("perf: no samples")

@@ -1,0 +1,122 @@
+// Package runner is the parallel execution layer for independent
+// simulation replications. Every evaluation harness in
+// internal/experiments decomposes into jobs — one (sweep-point, policy,
+// repetition) cell each — that share no state: a job builds its own
+// engine, machine, and RNG from its parameters alone. runner fans such
+// jobs out across a bounded worker pool while guaranteeing that the
+// observable result is a pure function of the job list, never of the
+// worker count or completion order:
+//
+//   - results are collected by job index, not completion order;
+//   - per-job randomness derives from a base seed and the job's stable
+//     index via SplitMix64 (Seed), never from a shared stream;
+//   - on multiple failures the error of the lowest-index job is
+//     returned, so even the failure mode is deterministic;
+//   - a panicking job is captured and converted into a labeled
+//     *PanicError instead of killing the whole run.
+//
+// Together these make experiment output bit-identical for any worker
+// count, including 1 — the reproducibility contract internal/sim was
+// built to provide, preserved under parallelism.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Seed derives the seed for job index from a base seed by running one
+// SplitMix64 step over their combination. Derived seeds depend only on
+// (base, index), so a job's random stream is identical no matter which
+// worker runs it or when; distinct indices yield statistically
+// independent streams (SplitMix64 is a bijective mixer, so distinct
+// inputs never collide).
+func Seed(base, index uint64) uint64 {
+	z := base + (index+1)*0x9e3779b97f4a7c15 // golden-ratio increment, offset so index 0 still mixes
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PanicError labels a panic that escaped a job, with the stack captured
+// at the point of the panic.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map runs fn(0) … fn(n-1) on up to workers goroutines and returns the
+// results ordered by job index. workers <= 0 selects
+// runtime.GOMAXPROCS(0). Every job runs to completion even if another
+// job fails — partial cancellation would make the set of completed jobs
+// depend on timing — and the returned error is that of the
+// lowest-index failed job, wrapped with its index. A job that panics
+// contributes a *PanicError instead of unwinding Map's caller.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		// Inline fast path: no goroutines, same observable behavior.
+		for i := 0; i < n; i++ {
+			errs[i] = runJob(i, fn, &results[i])
+		}
+		return results, firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = runJob(i, fn, &results[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+func runJob[T any](i int, fn func(int) (T, error), out *T) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	v, err := fn(i)
+	if err != nil {
+		return fmt.Errorf("job %d: %w", i, err)
+	}
+	*out = v
+	return nil
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map[int](4, 0, func(int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapDefaultsWorkers(t *testing.T) {
+	if _, err := Map(0, 8, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(-3, 8, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	_, err := Map(3, 64, func(i int) (int, error) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	// Every odd job fails; the error must be job 1's regardless of
+	// completion order.
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 32, func(i int) (int, error) {
+			if i%2 == 1 {
+				return 0, fmt.Errorf("cell %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		want := "job 1:"
+		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+			t.Fatalf("workers=%d: err %q does not lead with lowest-index job", workers, got)
+		}
+	}
+}
+
+func TestMapAllJobsRunDespiteFailure(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 20, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n != 20 {
+		t.Fatalf("ran %d of 20 jobs; failure must not cancel siblings", n)
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	got, err := Map(4, 10, func(i int) (string, error) {
+		if i == 7 {
+			panic("replication crashed")
+		}
+		return fmt.Sprint(i), nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not a *PanicError", err)
+	}
+	if pe.Index != 7 || pe.Value != "replication crashed" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error incomplete: %+v", pe)
+	}
+	// Healthy siblings still produced results.
+	if got[6] != "6" || got[8] != "8" {
+		t.Fatalf("sibling results lost: %q", got)
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for base := uint64(0); base < 4; base++ {
+		for idx := uint64(0); idx < 1000; idx++ {
+			s := Seed(base, idx)
+			if s != Seed(base, idx) {
+				t.Fatal("Seed not deterministic")
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("Seed collision: %d appears at %d and base=%d idx=%d", s, prev, base, idx)
+			}
+			seen[s] = base*1000 + idx
+		}
+	}
+}
+
+func TestSeedIndependentOfWorkerCount(t *testing.T) {
+	run := func(workers int) []uint64 {
+		out, err := Map(workers, 50, func(i int) (uint64, error) {
+			return Seed(99, uint64(i)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d differs across worker counts", i)
+		}
+	}
+}
