@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all test race fuzz vet bench experiments examples cover clean
+.PHONY: all test race fuzz vet bench experiments chaos examples cover clean
 
 all: test
 
@@ -21,12 +21,17 @@ race:
 fuzz:
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzSchedulerInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDeterminism -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzChaosInvariants -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 experiments:
 	$(GO) run ./cmd/experiments -all
+
+# E4: fault-injected admission (quick, shape-preserving scale).
+chaos:
+	$(GO) run ./cmd/experiments -experiment e4 -scale 0.2
 
 examples:
 	$(GO) run ./examples/quickstart

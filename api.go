@@ -10,10 +10,12 @@ package rdasched
 
 import (
 	"rdasched/internal/core"
+	"rdasched/internal/faults"
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
+	"rdasched/internal/sim"
 	"rdasched/internal/workloads"
 )
 
@@ -69,6 +71,39 @@ type (
 
 // NewCompromise returns RDA:Compromise with the paper's factor (2).
 func NewCompromise() CompromisePolicy { return core.NewCompromise() }
+
+// Robustness layer: graceful degradation for misbehaving workloads.
+type (
+	// SchedStats are the scheduler's activity counters, including the
+	// robustness counters (reclaimed leases, fallback admissions,
+	// rejected demands, max wait).
+	SchedStats = core.Stats
+	// FaultPlan injects deterministic misbehavior into a workload
+	// (misdeclared/oversized demands, leaked pp_ends, crashes, arrival
+	// bursts); see RunConfig.Faults.
+	FaultPlan = faults.Plan
+	// Duration is a span of virtual time in picoseconds (used for the
+	// period lease and admission deadline).
+	Duration = sim.Duration
+)
+
+// Sentinel errors returned by the scheduler's public admission path
+// (Scheduler.CheckDemand, ResourceMonitor Increment/Decrement).
+var (
+	// ErrInvalidDemand: malformed or empty demand.
+	ErrInvalidDemand = core.ErrInvalidDemand
+	// ErrOversizedDemand: a demand the configured policy could never
+	// admit alongside any other load.
+	ErrOversizedDemand = core.ErrOversizedDemand
+	// ErrLoadUnderflow: a release without a matching registration.
+	ErrLoadUnderflow = core.ErrLoadUnderflow
+)
+
+// UniformFaults returns a fault plan injecting every failure mode at the
+// given per-candidate rate against the given LLC capacity.
+func UniformFaults(rate float64, capacity Bytes) FaultPlan {
+	return faults.Uniform(rate, capacity)
+}
 
 // PolicyByName resolves "default", "strict", or "compromise".
 func PolicyByName(name string) (Policy, error) { return core.PolicyByName(name) }

@@ -1,6 +1,7 @@
 package rdasched_test
 
 import (
+	"errors"
 	"testing"
 
 	"rdasched"
@@ -107,6 +108,60 @@ func TestFacadeTable2(t *testing.T) {
 	}
 	if _, err := rdasched.WorkloadByName("water_nsq"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeChaos exercises the robustness surface: a faulted workload
+// run with the lease watchdog and bounded waiting enabled terminates,
+// and the robustness counters reach the public metrics.
+func TestFacadeChaos(t *testing.T) {
+	kernel := rdasched.Phase{
+		Name:             "kernel",
+		Instr:            1e7,
+		WSS:              rdasched.MB(6.3),
+		Reuse:            rdasched.ReuseHigh,
+		AccessesPerInstr: 0.3,
+		PrivateHitFrac:   0.85,
+		StreamFrac:       0.05,
+		FlopsPerInstr:    0.5,
+		Declared:         true,
+	}
+	var w rdasched.Workload
+	w.Name = "chaos"
+	for i := 0; i < 6; i++ {
+		w.Procs = append(w.Procs, rdasched.Spec{
+			Name: "p", Threads: 1, Program: rdasched.Program{kernel},
+		})
+	}
+	plan := rdasched.UniformFaults(0.5, rdasched.DefaultMachine().LLCCapacity)
+	mean, _, err := rdasched.Run(w, rdasched.RunConfig{
+		Machine:       rdasched.DefaultMachine(),
+		Policy:        rdasched.StrictPolicy{},
+		Faults:        &plan,
+		Lease:         rdasched.Duration(200e9), // 200 ms
+		AdmitDeadline: rdasched.Duration(100e9), // 100 ms
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatalf("faulted run did not terminate cleanly: %v", err)
+	}
+	if mean.ReclaimedLeases == 0 && mean.FallbackAdmissions == 0 {
+		t.Fatal("50% fault rate exercised no robustness machinery")
+	}
+}
+
+func TestFacadeSentinels(t *testing.T) {
+	_, s := rdasched.NewScheduledMachine(rdasched.DefaultMachine(), rdasched.StrictPolicy{})
+	bad := rdasched.Demand{Resource: rdasched.ResourceLLC, WorkingSet: 0, Reuse: rdasched.ReuseLow}
+	if err := s.CheckDemand(bad); !errors.Is(err, rdasched.ErrInvalidDemand) {
+		t.Fatalf("zero demand: %v, want ErrInvalidDemand", err)
+	}
+	huge := rdasched.Demand{Resource: rdasched.ResourceLLC, WorkingSet: rdasched.MB(100), Reuse: rdasched.ReuseLow}
+	if err := s.CheckDemand(huge); !errors.Is(err, rdasched.ErrOversizedDemand) {
+		t.Fatalf("100 MB demand: %v, want ErrOversizedDemand", err)
+	}
+	if err := s.Resources().Decrement(huge); !errors.Is(err, rdasched.ErrLoadUnderflow) {
+		t.Fatalf("decrement on empty table: %v, want ErrLoadUnderflow", err)
 	}
 }
 

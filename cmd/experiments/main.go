@@ -31,6 +31,7 @@ func main() {
 		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
 		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, or factor")
+		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
 		reps     = flag.Int("reps", 4, "repetitions per measurement")
@@ -166,6 +167,22 @@ func main() {
 		}
 	}
 
+	addExperiment := func(name string) {
+		switch name {
+		case "e4", "chaos":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunChaos(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				return nil
+			})
+		default:
+			fatal(fmt.Errorf("unknown experiment %q (have e4)", name))
+		}
+	}
+
 	switch {
 	case *all:
 		addTable(1)
@@ -179,14 +196,17 @@ func main() {
 		addExt("bandwidth")
 		addExt("calibration")
 		addExt("factor")
+		addExperiment("e4")
 	case *table != 0:
 		addTable(*table)
 	case *fig != 0:
 		addFig(*fig)
 	case *ext != "":
 		addExt(*ext)
+	case *exp != "":
+		addExperiment(*exp)
 	default:
-		fmt.Fprintln(os.Stderr, "experiments: pass -all, -fig N, -table N, or -ext NAME")
+		fmt.Fprintln(os.Stderr, "experiments: pass -all, -fig N, -table N, -ext NAME, or -experiment NAME")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,29 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the public admission path. The kernel prototype
+// cannot afford to oops because an application passed a garbage demand to
+// pp_begin or dropped a pp_end; likewise this extension returns (or
+// counts) errors for every externally triggerable misuse and reserves
+// panics for internal accounting invariants — a load-table underflow
+// reached through the scheduler's own bookkeeping is a bug in this
+// package, never a legitimate runtime state.
+var (
+	// ErrInvalidDemand marks a malformed external demand: unknown
+	// resource, negative or zero working set, or invalid reuse level.
+	// The scheduler refuses to track such periods and lets them run under
+	// the stock scheduler (counted in Stats.Rejected).
+	ErrInvalidDemand = errors.New("core: invalid demand")
+	// ErrOversizedDemand marks a demand that can never be admitted
+	// alongside any other load under the configured policy (working set
+	// above the policy limit). Such periods still run eventually — via
+	// the empty-load safeguard or fallback admission — but callers
+	// validating ahead of time get a definite answer.
+	ErrOversizedDemand = errors.New("core: demand exceeds policy capacity limit")
+	// ErrLoadUnderflow reports a Decrement below zero load. On the
+	// scheduler's internal paths this is converted back into a panic
+	// (accounting bug); external callers of ResourceMonitor get the
+	// error.
+	ErrLoadUnderflow = errors.New("core: resource load underflow")
+)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rdasched/internal/faults"
+	"rdasched/internal/machine"
+	"rdasched/internal/pp"
+	"rdasched/internal/sim"
+)
+
+// Chaos fuzzing: the graceful-degradation guarantees must hold for ANY
+// workload mutated by ANY fault plan, not just the curated chaos
+// experiment. A random workload is perturbed through internal/faults
+// (misdeclared and oversized demands, leaked pp_ends, crashed threads,
+// arrival bursts) and driven through the full machine+scheduler stack
+// with the lease watchdog and bounded waiting enabled.
+
+const (
+	chaosLease    = 50 * sim.Millisecond
+	chaosDeadline = 20 * sim.Millisecond
+)
+
+// checkChaosInvariants asserts the degradation contract for one faulted
+// random workload:
+//
+//  1. the run terminates — no fault mix may stall the machine;
+//  2. no period waits past the admission deadline;
+//  3. every opened period is accounted for: begins = ends + reclaims
+//     (after end-of-run Quiesce);
+//  4. the resource monitor returns to zero load after reclamation, with
+//     the registry and waitlist drained;
+//  5. crashed threads only ever shrink the executed instruction count.
+func checkChaosInvariants(seed uint64, polIdx, rateByte uint8) error {
+	policies := []Policy{StrictPolicy{}, NewCompromise(), AlwaysPolicy{}}
+	pol := policies[int(polIdx)%len(policies)]
+	rate := float64(rateByte) / 255 // any rate in [0, 1]
+
+	cfg := machine.DefaultConfig()
+	cfg.MaxSimTime = 600 * sim.Second
+	w := randomWorkload(seed, 6)
+	plan := faults.Uniform(rate, cfg.LLCCapacity)
+	w = plan.Apply(w, seed)
+
+	s := New(pol, cfg.LLCCapacity)
+	m := machine.New(cfg, s)
+	s.SetWaker(m)
+	s.SetClock(m.Now)
+	s.SetTimer(m.Engine())
+	s.SetLease(chaosLease)
+	s.SetAdmissionDeadline(chaosDeadline)
+	if err := m.AddWorkload(w); err != nil {
+		return fmt.Errorf("seed %d rate %.2f: invalid faulted workload: %v", seed, rate, err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return fmt.Errorf("seed %d rate %.2f policy %s: %v", seed, rate, pol.Name(), err)
+	}
+	s.Quiesce()
+	st := s.Stats()
+	if st.MaxWait > chaosDeadline {
+		return fmt.Errorf("seed %d rate %.2f: max wait %v exceeds the %v deadline", seed, rate, st.MaxWait, chaosDeadline)
+	}
+	if st.Begins != st.Ends+st.Reclaimed {
+		return fmt.Errorf("seed %d rate %.2f: %d begins vs %d ends + %d reclaims",
+			seed, rate, st.Begins, st.Ends, st.Reclaimed)
+	}
+	for r := 0; r < pp.NumResources; r++ {
+		if u := s.Resources().Usage(pp.Resource(r)); u != 0 {
+			return fmt.Errorf("seed %d rate %.2f: leftover %v load %v after Quiesce", seed, rate, pp.Resource(r), u)
+		}
+	}
+	if s.Waitlisted() != 0 || s.ActivePeriods() != 0 {
+		return fmt.Errorf("seed %d rate %.2f: registry not drained", seed, rate)
+	}
+	var want float64
+	for _, spec := range w.Procs {
+		want += float64(spec.Threads) * spec.Program.TotalInstr()
+	}
+	if res.Counters.Instructions > want+1 {
+		return fmt.Errorf("seed %d rate %.2f: executed %v instructions, program total is %v",
+			seed, rate, res.Counters.Instructions, want)
+	}
+	if res.Counters.Crashes == 0 && res.Counters.Instructions < want-1 {
+		return fmt.Errorf("seed %d rate %.2f: executed %v of %v instructions with no crashes",
+			seed, rate, res.Counters.Instructions, want)
+	}
+	return nil
+}
+
+// TestFuzzChaosInvariants is the quick.Check sweep; FuzzChaosInvariants
+// explores further from the committed corpus under `make fuzz` / CI.
+func TestFuzzChaosInvariants(t *testing.T) {
+	f := func(seed uint64, polIdx, rate uint8) bool {
+		if err := checkChaosInvariants(seed, polIdx, rate); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzChaosInvariants is the native fuzz entry point. The corpus seeds
+// cover each policy at a low, medium, and full fault rate plus the
+// boundary seeds.
+func FuzzChaosInvariants(f *testing.F) {
+	for _, c := range []struct {
+		seed      uint64
+		pol, rate uint8
+	}{
+		{0, 0, 0}, {1, 0, 13}, {2, 1, 77}, {3, 2, 38},
+		{1337, 0, 255}, {^uint64(0), 1, 128},
+	} {
+		f.Add(c.seed, c.pol, c.rate)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, polIdx, rate uint8) {
+		if err := checkChaosInvariants(seed, polIdx, rate); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -27,6 +27,17 @@ const (
 	EventWake
 	// EventEnd: the period completed and released its demands.
 	EventEnd
+	// EventReclaim: the lease watchdog reclaimed a leaked period's load.
+	EventReclaim
+	// EventFallback: a waitlisted period hit the admission deadline and
+	// was degraded to stock-scheduler admission.
+	EventFallback
+	// EventReject: an invalid external demand (or double pp_begin) was
+	// refused; the period runs untracked.
+	EventReject
+	// EventLateEnd: a pp_end arrived for a reclaimed or unknown period
+	// and was dropped.
+	EventLateEnd
 )
 
 func (k EventKind) String() string {
@@ -41,6 +52,14 @@ func (k EventKind) String() string {
 		return "wake"
 	case EventEnd:
 		return "end"
+	case EventReclaim:
+		return "reclaim"
+	case EventFallback:
+		return "fallback"
+	case EventReject:
+		return "reject"
+	case EventLateEnd:
+		return "late-end"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

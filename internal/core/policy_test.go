@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -133,24 +134,45 @@ func TestResourceMonitorAccounting(t *testing.T) {
 	}
 }
 
-func TestResourceMonitorUnderflowPanics(t *testing.T) {
+func TestResourceMonitorUnderflowError(t *testing.T) {
+	// Underflow on the external API is a sentinel error, not a panic —
+	// untrusted trace replay must be able to survive an End without a
+	// Begin. The table is left untouched.
 	rm := NewResourceMonitor(pp.MB(15))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("underflow did not panic")
-		}
-	}()
-	rm.Decrement(pp.Demand{Resource: pp.ResourceLLC, WorkingSet: pp.MB(1), Reuse: pp.ReuseLow})
+	err := rm.Decrement(pp.Demand{Resource: pp.ResourceLLC, WorkingSet: pp.MB(1), Reuse: pp.ReuseLow})
+	if !errors.Is(err, ErrLoadUnderflow) {
+		t.Fatalf("underflow error = %v, want ErrLoadUnderflow", err)
+	}
+	if rm.Usage(pp.ResourceLLC) != 0 {
+		t.Fatalf("usage mutated by failed decrement: %v", rm.Usage(pp.ResourceLLC))
+	}
 }
 
-func TestResourceMonitorInvalidDemandPanics(t *testing.T) {
+func TestResourceMonitorInvalidDemandError(t *testing.T) {
 	rm := NewResourceMonitor(pp.MB(15))
+	bad := pp.Demand{Resource: pp.Resource(99), WorkingSet: 1}
+	if err := rm.Increment(bad); !errors.Is(err, ErrInvalidDemand) {
+		t.Fatalf("Increment error = %v, want ErrInvalidDemand", err)
+	}
+	if err := rm.Decrement(bad); !errors.Is(err, ErrInvalidDemand) {
+		t.Fatalf("Decrement error = %v, want ErrInvalidDemand", err)
+	}
+	if rm.Usage(pp.ResourceLLC) != 0 {
+		t.Fatal("usage mutated by invalid demand")
+	}
+}
+
+// TestSchedulerInternalUnderflowPanics pins the dividing line: the same
+// underflow reached through the scheduler's *internal* accounting is a
+// bug in this package and still panics.
+func TestSchedulerInternalUnderflowPanics(t *testing.T) {
+	s := New(StrictPolicy{}, pp.MB(15))
 	defer func() {
 		if recover() == nil {
-			t.Fatal("invalid demand did not panic")
+			t.Fatal("internal underflow did not panic")
 		}
 	}()
-	rm.Increment(pp.Demand{Resource: pp.Resource(99), WorkingSet: 1})
+	s.mustDecrement(pp.Demand{Resource: pp.ResourceLLC, WorkingSet: pp.MB(1), Reuse: pp.ReuseLow})
 }
 
 func TestResourceMonitorSetCapacity(t *testing.T) {

@@ -48,29 +48,35 @@ func (rm *ResourceMonitor) Remaining(r pp.Resource) pp.Bytes {
 	return rm.capacity[r] - rm.usage[r]
 }
 
-// Increment adds a period's demand to the load table.
-func (rm *ResourceMonitor) Increment(d pp.Demand) {
+// Increment adds a period's demand to the load table. A malformed demand
+// returns ErrInvalidDemand and leaves the table untouched: demands arrive
+// from applications, so rejecting them is admission policy, not a crash.
+func (rm *ResourceMonitor) Increment(d pp.Demand) error {
 	if err := d.Validate(); err != nil {
-		panic(err)
+		return fmt.Errorf("%w: %v", ErrInvalidDemand, err)
 	}
 	rm.usage[d.Resource] += d.WorkingSet
 	if rm.usage[d.Resource] > rm.peak[d.Resource] {
 		rm.peak[d.Resource] = rm.usage[d.Resource]
 	}
+	return nil
 }
 
-// Decrement removes a completed period's demand. It panics if the load
-// would go negative — that always indicates an accounting bug (an End
-// without a Begin), never a legitimate runtime state.
-func (rm *ResourceMonitor) Decrement(d pp.Demand) {
+// Decrement removes a completed period's demand. A decrement below zero
+// load returns ErrLoadUnderflow with the table untouched; the scheduler's
+// internal call sites turn that into a panic (an End without a Begin on
+// the scheduler's own paths is an accounting bug), while external callers
+// replaying untrusted traces can handle it.
+func (rm *ResourceMonitor) Decrement(d pp.Demand) error {
 	if err := d.Validate(); err != nil {
-		panic(err)
+		return fmt.Errorf("%w: %v", ErrInvalidDemand, err)
 	}
 	if rm.usage[d.Resource] < d.WorkingSet {
-		panic(fmt.Sprintf("core: load underflow on %s: %s - %s",
-			d.Resource, rm.usage[d.Resource], d.WorkingSet))
+		return fmt.Errorf("%w: %s: %s - %s", ErrLoadUnderflow,
+			d.Resource, rm.usage[d.Resource], d.WorkingSet)
 	}
 	rm.usage[d.Resource] -= d.WorkingSet
+	return nil
 }
 
 func (rm *ResourceMonitor) String() string {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"rdasched/internal/machine"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
 	"rdasched/internal/sched"
+	"rdasched/internal/sim"
 )
 
 // Waker resumes threads the scheduler paused. internal/machine's Machine
@@ -19,10 +21,21 @@ type Waker interface {
 type Stats struct {
 	Begins   uint64 // periods opened (first thread in)
 	Ends     uint64 // periods closed (last thread out)
-	Admitted uint64 // periods admitted immediately
+	Admitted uint64 // periods admitted by the predicate (incl. wakes)
 	Denied   uint64 // periods waitlisted at least once
 	Woken    uint64 // threads resumed from the waitlist
 	Safegrds uint64 // periods admitted by the empty-load safeguard
+
+	// Robustness counters (the graceful-degradation layer).
+	Reclaimed      uint64   // periods reclaimed by the lease watchdog or Quiesce
+	ReclaimedBytes pp.Bytes // LLC load returned to the monitor by reclamations
+	Fallbacks      uint64   // waitlisted periods degraded to stock admission at the deadline
+	Rejected       uint64   // invalid external demands refused (period ran untracked)
+	LateEnds       uint64   // pp_ends after reclamation, or with no matching begin
+
+	// MaxWait is the longest any period sat on the waitlist before being
+	// admitted (by release or fallback). Zero unless a Clock is bound.
+	MaxWait sim.Duration
 }
 
 // periodKey identifies a progress period instance: one process entering
@@ -41,8 +54,18 @@ type period struct {
 	demands  []pp.Demand // LLC occupancy, plus optional extra resources
 	taskPool bool
 	admitted bool
-	refs     int // threads currently executing inside the period
-	waiters  []*machine.Thread
+	// untracked periods run without load charged to the monitor: either
+	// their demand was invalid (rejected) or they were admitted by
+	// fallback after the admission deadline. Their end decrements nothing.
+	untracked bool
+	refs      int // threads currently executing inside the period
+	waiters   []*machine.Thread
+
+	// Waitlist bookkeeping for bounded waiting.
+	ticket     uint64
+	enqueuedAt sim.Time
+	deadlineEv *sim.Event
+	leaseEv    *sim.Event
 }
 
 // Scheduler is the RDA scheduling extension. It implements machine.Gate:
@@ -64,6 +87,15 @@ type Scheduler struct {
 	reserve  pp.Bytes     // §6 extension: capacity withheld from admission
 	stats    Stats
 
+	// Graceful degradation (see lease.go): period leases, bounded
+	// waiting, and the registry of reclaimed periods so a late pp_end is
+	// recognized instead of corrupting the load table.
+	timer     Timer
+	lease     sim.Duration
+	deadline  sim.Duration
+	reclaimed map[periodKey]bool
+	inside    map[int]periodKey // thread ID → period it is executing in
+
 	// Decision log (see log.go).
 	clock    Clock
 	log      []Event
@@ -80,11 +112,13 @@ func New(policy Policy, llcCapacity pp.Bytes) *Scheduler {
 		policy = AlwaysPolicy{}
 	}
 	return &Scheduler{
-		policy: policy,
-		rm:     NewResourceMonitor(llcCapacity),
-		active: make(map[periodKey]*period),
-		byID:   make(map[pp.ID]*period),
-		parked: make(map[int]bool),
+		policy:    policy,
+		rm:        NewResourceMonitor(llcCapacity),
+		active:    make(map[periodKey]*period),
+		byID:      make(map[pp.ID]*period),
+		parked:    make(map[int]bool),
+		reclaimed: make(map[periodKey]bool),
+		inside:    make(map[int]periodKey),
 	}
 }
 
@@ -132,6 +166,29 @@ func (s *Scheduler) ActivePeriods() int {
 	return n
 }
 
+// CheckDemand validates one demand for the public admission path. It
+// returns ErrInvalidDemand for malformed or empty demands and
+// ErrOversizedDemand for demands the configured policy could never admit
+// alongside any other load (such a period still runs eventually, through
+// the empty-load safeguard or fallback admission, but a caller validating
+// ahead of pp_begin gets a definite answer).
+func (s *Scheduler) CheckDemand(d pp.Demand) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidDemand, err)
+	}
+	if d.WorkingSet == 0 {
+		return fmt.Errorf("%w: zero working set", ErrInvalidDemand)
+	}
+	capacity := s.rm.Capacity(d.Resource)
+	if d.Resource == pp.ResourceLLC {
+		capacity -= s.reserve
+	}
+	if capacity > 0 && !s.policy.Allows(capacity-d.WorkingSet, capacity) {
+		return fmt.Errorf("%w: %v against %v", ErrOversizedDemand, d.WorkingSet, capacity)
+	}
+	return nil
+}
+
 // TrySchedule is Algorithm 1: given the demand of a period about to
 // start, compute the space that would remain and ask the policy. The
 // load-zero safeguard admits a period whose demand alone exceeds the
@@ -174,8 +231,18 @@ func (s *Scheduler) tryScheduleAll(ds []pp.Demand) (runnable, safeguard bool) {
 // image of pp_begin. The first thread of a process to arrive opens the
 // period and runs Algorithm 1; siblings join an already-admitted period
 // for free (the demand is per process-phase, counted once).
+//
+// Client misbehavior degrades instead of crashing: a double pp_begin from
+// a thread already inside the period is counted and ignored, and a period
+// declaring an invalid demand runs untracked under the stock scheduler
+// (Stats.Rejected) rather than corrupting the load table.
 func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) bool {
 	key := periodKey{t.Process().ID(), phaseIdx}
+	if in, ok := s.inside[t.ID()]; ok && in == key {
+		s.stats.Rejected++
+		s.logEvent(EventReject, key, ph.Demand())
+		return true
+	}
 	per := s.active[key]
 	if per == nil {
 		per = &period{
@@ -190,6 +257,17 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 		s.stats.Begins++
 		s.logEvent(EventBegin, key, per.demands[0])
 
+		if err := s.checkDemands(per.demands); errors.Is(err, ErrInvalidDemand) {
+			// Refuse to track the period; the thread runs under the stock
+			// scheduler and its end releases nothing.
+			per.untracked = true
+			per.admitted = true
+			per.refs = 1
+			s.inside[t.ID()] = key
+			s.stats.Rejected++
+			s.logEvent(EventReject, key, per.demands[0])
+			return true
+		}
 		if s.parked[key.procID] {
 			// §3.4: the whole pool is disabled until resources free up.
 			s.deny(per, t)
@@ -206,38 +284,79 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 		s.admit(per)
 		s.logEvent(EventAdmit, key, per.demands[0])
 		per.refs = 1
+		s.inside[t.ID()] = key
 		return true
 	}
 	if per.admitted {
 		per.refs++
+		s.inside[t.ID()] = key
 		return true
 	}
 	per.waiters = append(per.waiters, t)
 	return false
 }
 
+// checkDemands returns the first validation error among a period's
+// demands, ignoring oversize (oversized periods go through the normal
+// deny path, where the safeguard or fallback admission bounds their
+// wait).
+func (s *Scheduler) checkDemands(ds []pp.Demand) error {
+	for _, d := range ds {
+		if err := s.CheckDemand(d); errors.Is(err, ErrInvalidDemand) {
+			return err
+		}
+	}
+	return nil
+}
+
 // ExitPhase implements machine.Gate: the simulation image of pp_end. The
 // last thread out closes the period, releases its demand, and rescans the
 // waitlist — "processes that are paused ... may be rescheduled later when
 // another progress period completes and releases sufficient resources".
+//
+// A pp_end whose period was already reclaimed by the lease watchdog — or
+// that never had a begin — is counted (Stats.LateEnds) and dropped; the
+// load it would release was either reclaimed already or never charged.
 func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	key := periodKey{t.Process().ID(), phaseIdx}
+	if in, ok := s.inside[t.ID()]; ok && in == key {
+		delete(s.inside, t.ID())
+	}
 	per := s.active[key]
-	if per == nil || !per.admitted {
-		panic(fmt.Sprintf("core: ExitPhase without active period (proc %d phase %d)", key.procID, phaseIdx))
+	if per == nil {
+		s.stats.LateEnds++
+		s.logEvent(EventLateEnd, key, ph.Demand())
+		return
+	}
+	if !per.admitted {
+		// A thread cannot be running inside a period the predicate never
+		// admitted: internal invariant, not client misbehavior.
+		panic(fmt.Sprintf("core: ExitPhase on unadmitted period (proc %d phase %d)", key.procID, phaseIdx))
 	}
 	per.refs--
 	if per.refs > 0 {
 		return
 	}
-	delete(s.active, key)
-	delete(s.byID, per.id)
-	for _, d := range per.demands {
-		s.rm.Decrement(d)
+	s.unregister(per)
+	if !per.untracked {
+		for _, d := range per.demands {
+			s.mustDecrement(d)
+		}
 	}
 	s.stats.Ends++
 	s.logEvent(EventEnd, key, per.demands[0])
 	s.wakeWaitlist()
+}
+
+// unregister drops a period from the registry and cancels its pending
+// lease timer.
+func (s *Scheduler) unregister(per *period) {
+	delete(s.active, per.key)
+	delete(s.byID, per.id)
+	if per.leaseEv != nil && s.timer != nil {
+		s.timer.Cancel(per.leaseEv)
+		per.leaseEv = nil
+	}
 }
 
 // wakeWaitlist admits pending periods in FIFO order while the policy
@@ -259,31 +378,61 @@ func (s *Scheduler) wakeWaitlist() {
 	})
 	for _, per := range woken {
 		delete(s.parked, per.key.procID)
-		per.refs = len(per.waiters)
-		ws := per.waiters
-		per.waiters = nil
-		for _, t := range ws {
-			s.stats.Woken++
-			s.waker.Unblock(t)
-		}
+		s.cancelDeadline(per)
+		s.noteWait(per)
+		s.release(per)
+	}
+}
+
+// release hands an admitted period's blocked threads back to the default
+// scheduler.
+func (s *Scheduler) release(per *period) {
+	per.refs = len(per.waiters)
+	ws := per.waiters
+	per.waiters = nil
+	for _, t := range ws {
+		s.stats.Woken++
+		s.inside[t.ID()] = per.key
+		s.waker.Unblock(t)
 	}
 }
 
 func (s *Scheduler) admit(per *period) {
 	for _, d := range per.demands {
-		s.rm.Increment(d)
+		s.mustIncrement(d)
 	}
 	per.admitted = true
 	s.stats.Admitted++
+	s.scheduleLease(per)
 }
 
 func (s *Scheduler) deny(per *period, t *machine.Thread) {
 	per.waiters = append(per.waiters, t)
-	s.waitlist.Enqueue(per)
+	per.ticket = s.waitlist.Enqueue(per)
+	if s.clock != nil {
+		per.enqueuedAt = s.clock()
+	}
+	s.scheduleDeadline(per)
 	s.stats.Denied++
 	s.logEvent(EventDeny, per.key, per.demands[0])
 	if per.taskPool {
 		s.parked[per.key.procID] = true
+	}
+}
+
+// mustIncrement and mustDecrement are the scheduler's internal load-table
+// accessors: demands on these paths were validated at EnterPhase and
+// every decrement matches a prior increment, so an error here is an
+// accounting bug and panics.
+func (s *Scheduler) mustIncrement(d pp.Demand) {
+	if err := s.rm.Increment(d); err != nil {
+		panic(err)
+	}
+}
+
+func (s *Scheduler) mustDecrement(d pp.Demand) {
+	if err := s.rm.Decrement(d); err != nil {
+		panic(err)
 	}
 }
 

@@ -172,6 +172,22 @@ func TestDeterminismExtensions(t *testing.T) {
 	}
 }
 
+// TestDeterminismChaos covers the E4 harness: fault injection draws
+// per-replication fault patterns from the seed and job index, so the
+// chaos table, too, must be byte-identical for every worker count.
+func TestDeterminismChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	assertIdenticalAcrossJobs(t, "chaos", func(opt Options) ([]string, error) {
+		res, err := RunChaos(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []string{res.Table().String()}, nil
+	})
+}
+
 // TestDeterminismStdDevAcrossJobs checks the raw aggregates, not just
 // the (rounded) rendered tables: mean and standard deviation of every
 // metric must be exactly equal across worker counts.

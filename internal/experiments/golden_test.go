@@ -67,3 +67,21 @@ func TestGoldenFig11(t *testing.T) {
 	}
 	checkGolden(t, "fig11", res.Table())
 }
+
+// TestGoldenE4 pins the chaos table at a fixed seed: fault injection,
+// lease reclamation, and fallback admission are all deterministic, so
+// the full degradation table is reproducible byte for byte.
+func TestGoldenE4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := Defaults()
+	opt.Repetitions = 1
+	opt.JitterFrac = 0
+	opt.Scale = 0.1
+	res, err := RunChaos(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "e4", res.Table())
+}

@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+	"rdasched/internal/workloads"
+)
+
+func testWorkload() proc.Workload {
+	base := proc.Spec{
+		Name:    "w",
+		Threads: 2,
+		Program: proc.Program{
+			{Name: "init", Instr: 1e6, WSS: pp.KB(64), Reuse: pp.ReuseLow},
+			{Name: "kernel", Instr: 1e7, WSS: pp.MB(4), Reuse: pp.ReuseHigh, Declared: true},
+			{Name: "kernel2", Instr: 1e7, WSS: pp.MB(2), Reuse: pp.ReuseMed, Declared: true},
+		},
+	}
+	return proc.Workload{Name: "test", Procs: proc.Replicate(base, 16)}
+}
+
+func TestZeroPlanIsIdentity(t *testing.T) {
+	w := testWorkload()
+	var p Plan
+	if p.Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	got := p.Apply(w, 42)
+	if !reflect.DeepEqual(got, w) {
+		t.Fatal("zero plan mutated the workload")
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	w := testWorkload()
+	p := Uniform(0.5, pp.MB(15))
+	a := p.Apply(w, 7)
+	b := p.Apply(w, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (plan, workload, seed) produced different faults")
+	}
+	c := p.Apply(w, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical faults (suspicious)")
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	w := testWorkload()
+	before := proc.Workload{Name: w.Name, Procs: append([]proc.Spec(nil), w.Procs...)}
+	for i := range before.Procs {
+		before.Procs[i] = w.Procs[i].Clone()
+	}
+	Uniform(1, pp.MB(15)).Apply(w, 3)
+	if !reflect.DeepEqual(w, before) {
+		t.Fatal("Apply mutated its input workload")
+	}
+}
+
+func TestApplyOutputValidates(t *testing.T) {
+	for _, rate := range []float64{0.05, 0.3, 1} {
+		got := Uniform(rate, pp.MB(15)).Apply(testWorkload(), 99)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("rate %v: faulted workload invalid: %v", rate, err)
+		}
+	}
+}
+
+func TestFullRatePlantsEveryFault(t *testing.T) {
+	w := testWorkload()
+	p := Plan{
+		MisdeclareRate: 1, MisdeclareMax: 4,
+		LeakRate: 1, CrashRate: 1,
+		BurstWaves: 2, WaveSpacingInstr: 1e6,
+	}
+	got := p.Apply(w, 1)
+	for i, s := range got.Procs {
+		crashes := 0
+		for j := range s.Program {
+			ph := &s.Program[j]
+			if !ph.Declared {
+				continue
+			}
+			if ph.DeclaredWSS <= 0 {
+				t.Fatalf("proc %d phase %d: rate-1 misdeclaration missing", i, j)
+			}
+			if !ph.LeakEnd {
+				t.Fatalf("proc %d phase %d: rate-1 leak missing", i, j)
+			}
+			if ph.CrashFrac > 0 {
+				crashes++
+			}
+		}
+		if crashes != 1 {
+			t.Fatalf("proc %d: %d crash phases, want exactly one per process", i, crashes)
+		}
+		wantWave := i % 2
+		if wantWave > 0 {
+			if s.Program[0].Name != "arrive" || s.Program[0].Declared {
+				t.Fatalf("proc %d: missing undeclared arrival phase", i)
+			}
+		} else if s.Program[0].Name == "arrive" {
+			t.Fatalf("proc %d: wave-0 process got an arrival phase", i)
+		}
+	}
+}
+
+func TestOversizeExceedsCompromiseLimit(t *testing.T) {
+	capacity := pp.MB(15)
+	p := Plan{OversizeRate: 1, Capacity: capacity}
+	got := p.Apply(testWorkload(), 5)
+	for i, s := range got.Procs {
+		for j := range s.Program {
+			ph := &s.Program[j]
+			if !ph.Declared {
+				continue
+			}
+			if ph.DeclaredWSS <= 2*capacity {
+				t.Fatalf("proc %d phase %d: oversize %v not beyond the compromise limit %v",
+					i, j, ph.DeclaredWSS, 2*capacity)
+			}
+		}
+	}
+}
+
+func TestMisdeclareBounded(t *testing.T) {
+	p := Plan{MisdeclareRate: 1, MisdeclareMax: 4}
+	got := p.Apply(testWorkload(), 11)
+	for i, s := range got.Procs {
+		for j := range s.Program {
+			ph := &s.Program[j]
+			if !ph.Declared {
+				continue
+			}
+			phys := float64(ph.OccupancyBytes())
+			lied := float64(ph.DeclaredWSS)
+			if lied < phys/4-1 || lied > phys*4+1 {
+				t.Fatalf("proc %d phase %d: factor %v outside [1/4, 4]", i, j, lied/phys)
+			}
+		}
+	}
+}
+
+func TestApplyOnPaperWorkload(t *testing.T) {
+	// The E4 harness feeds real paper workloads through Apply; make sure
+	// the combination stays valid at every swept rate.
+	w := workloads.BLAS3()
+	for _, rate := range []float64{0, 0.05, 0.15, 0.3} {
+		got := Uniform(rate, pp.MB(15)).Apply(w, 1234)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+	}
+}

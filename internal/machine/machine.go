@@ -55,6 +55,10 @@ type Thread struct {
 	// before remaining and yields no flops or memory traffic — the
 	// traffic was already counted when the penalty was charged.
 	state State
+	// crashing marks a thread whose current phase was truncated by
+	// CrashFrac: when the truncated run completes, the thread dies instead
+	// of retiring the phase.
+	crashing bool
 
 	// Cached per-interval model outputs (valid between reschedules).
 	rate          float64 // instructions/second
@@ -94,6 +98,7 @@ type Process struct {
 	threads  []*Thread
 	barriers map[int]int // phase index → arrivals
 	done     int
+	crashed  int // threads that died mid-phase (fault injection)
 	finish   sim.Time
 }
 
@@ -133,6 +138,8 @@ type Counters struct {
 	PPBlocks     uint64 // gate denials
 	Wakeups      uint64 // gate releases
 	Barriers     uint64 // barrier rendezvous completed
+	Crashes      uint64 // threads that died mid-phase (fault injection)
+	LeakedEnds   uint64 // declared phases retired without a pp_end (fault injection)
 }
 
 // Sample is one point of the run's utilization timeline.
@@ -604,31 +611,70 @@ func (m *Machine) onCompletion() {
 }
 
 // finishPhase retires t's current phase: gate exit, barrier rendezvous,
-// next phase entry.
+// next phase entry. A crashing thread dies instead: no pp_end reaches the
+// gate, no barrier is joined, and the rest of its program never runs.
 func (m *Machine) finishPhase(t *Thread) {
 	ph := t.CurrentPhase()
 	idx := t.phase
+	if t.crashing {
+		m.crashThread(t)
+		return
+	}
 	if ph.Declared && m.gate != nil {
-		m.gate.ExitPhase(t, idx, ph)
+		if ph.LeakEnd {
+			m.counters.LeakedEnds++
+		} else {
+			m.gate.ExitPhase(t, idx, ph)
+		}
 	}
 	if ph.BarrierAfter && t.proc.spec.Threads > 1 {
 		p := t.proc
 		p.barriers[idx]++
-		if p.barriers[idx] < len(p.threads) {
+		if p.barriers[idx] < len(p.threads)-p.crashed {
 			t.state = BarrierWait
 			return
 		}
-		delete(p.barriers, idx)
-		m.counters.Barriers++
-		for _, sib := range p.threads {
-			if sib != t && sib.state == BarrierWait && sib.phase == idx {
-				sib.phase++
-				m.startPhase(sib, sib.phase)
-			}
-		}
+		m.completeBarrier(p, idx, t)
 	}
 	t.phase++
 	m.startPhase(t, t.phase)
+}
+
+// completeBarrier releases every sibling waiting at barrier idx. The
+// arriving thread (nil when a crash shrank the rendezvous target) advances
+// itself in finishPhase.
+func (m *Machine) completeBarrier(p *Process, idx int, arriving *Thread) {
+	delete(p.barriers, idx)
+	m.counters.Barriers++
+	for _, sib := range p.threads {
+		if sib != arriving && sib.state == BarrierWait && sib.phase == idx {
+			sib.phase++
+			m.startPhase(sib, sib.phase)
+		}
+	}
+}
+
+// crashThread kills t mid-period: the thread counts as finished for
+// process completion, its open progress period never sees a pp_end (the
+// scheduler's lease watchdog reclaims the load), and every pending
+// barrier of its process re-evaluates against the shrunken rendezvous
+// target so surviving siblings are not deadlocked by a dead peer.
+func (m *Machine) crashThread(t *Thread) {
+	t.state = Done
+	t.crashing = false
+	m.counters.Crashes++
+	p := t.proc
+	p.crashed++
+	p.done++
+	if p.done == len(p.threads) {
+		p.finish = m.eng.Now()
+		m.doneProcs++
+	}
+	for idx := 0; idx < len(p.spec.Program); idx++ {
+		if n, ok := p.barriers[idx]; ok && n > 0 && n >= len(p.threads)-p.crashed {
+			m.completeBarrier(p, idx, nil)
+		}
+	}
 }
 
 // startPhase moves t into phase i, charging boundary overhead and asking
@@ -647,6 +693,12 @@ func (m *Machine) startPhase(t *Thread, i int) {
 	}
 	ph := &prog[i]
 	t.remaining = ph.Instr
+	if ph.CrashFrac > 0 {
+		// Fault injection: the thread dies after this fraction of the
+		// phase. Truncate the run; finishPhase turns completion into death.
+		t.remaining = ph.Instr * ph.CrashFrac
+		t.crashing = true
+	}
 	if ph.Declared {
 		// The pp_begin/pp_end cost is stall, not useful work: charge it
 		// as zero-yield penalty so it consumes time without fabricating

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"rdasched/internal/core"
+	"rdasched/internal/faults"
 	"rdasched/internal/machine"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
@@ -37,6 +38,15 @@ type Metrics struct {
 	AvgBusyCores float64
 	// Blocks and Wakeups count scheduler pause/resume events.
 	Blocks, Wakeups uint64
+
+	// Robustness counters (float64 so Aggregate averages them): lease
+	// reclamations (including end-of-run Quiesce), deadline degradations
+	// to stock admission, refused invalid demands, and the longest time
+	// any period sat on the waitlist.
+	ReclaimedLeases    float64
+	FallbackAdmissions float64
+	RejectedDemands    float64
+	MaxWaitSec         float64
 }
 
 // RunConfig describes one measured configuration.
@@ -60,6 +70,19 @@ type RunConfig struct {
 	JitterFrac float64
 	// Seed drives the jitter; each repetition forks its own stream.
 	Seed uint64
+
+	// Faults, when non-nil and enabled, perturbs the workload with seeded
+	// misbehavior (misdeclared/oversized demands, leaked pp_ends, crashes,
+	// arrival bursts) before the run; each repetition draws its own fault
+	// pattern from Seed. See internal/faults.
+	Faults *faults.Plan
+	// Lease bounds how long an admitted period may stay registered before
+	// the watchdog reclaims its load (0 disables; see core.SetLease).
+	Lease sim.Duration
+	// AdmitDeadline bounds how long a denied period may wait before it is
+	// degraded to stock-scheduler admission (0 disables; see
+	// core.SetAdmissionDeadline).
+	AdmitDeadline sim.Duration
 }
 
 // Reps returns the effective repetition count (0 means 1).
@@ -93,6 +116,9 @@ func Sample(w proc.Workload, rc RunConfig, rep int) (Metrics, error) {
 	if err := w.Validate(); err != nil {
 		return Metrics{}, err
 	}
+	if rc.Faults != nil && rc.Faults.Enabled() {
+		w = rc.Faults.Apply(w, runner.Seed(rc.Seed+0xfa17, uint64(rep)))
+	}
 	if rc.JitterFrac > 0 {
 		w = jitter(w, rc.JitterFrac, sim.NewRNG(runner.Seed(rc.Seed+0x5eed, uint64(rep))))
 	}
@@ -120,6 +146,10 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	m := machine.New(cfg, gate)
 	if schd != nil {
 		schd.SetWaker(m)
+		schd.SetClock(m.Now)
+		schd.SetTimer(m.Engine())
+		schd.SetLease(rc.Lease)
+		schd.SetAdmissionDeadline(rc.AdmitDeadline)
 	}
 	if err := m.AddWorkload(w); err != nil {
 		return Metrics{}, err
@@ -127,6 +157,14 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	res, err := m.Run()
 	if err != nil {
 		return Metrics{}, err
+	}
+	var rob core.Stats
+	if schd != nil {
+		// End-of-run reclamation: periods still registered lost their
+		// owners (leaked ends, crashed threads); return their load so the
+		// monitor reads zero and the counters include the residue.
+		schd.Quiesce()
+		rob = schd.Stats()
 	}
 	return Metrics{
 		SystemJ:       res.SystemJ,
@@ -139,6 +177,11 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		AvgBusyCores:  res.AvgBusyCores,
 		Blocks:        res.Counters.PPBlocks,
 		Wakeups:       res.Counters.Wakeups,
+
+		ReclaimedLeases:    float64(rob.Reclaimed),
+		FallbackAdmissions: float64(rob.Fallbacks),
+		RejectedDemands:    float64(rob.Rejected),
+		MaxWaitSec:         rob.MaxWait.Seconds(),
 	}, nil
 }
 
@@ -189,6 +232,7 @@ func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 		return []*float64{
 			&m.SystemJ, &m.DRAMJ, &m.PackageJ, &m.GFLOPS, &m.GFLOPSPerWatt,
 			&m.ElapsedSec, &m.DRAMAccesses, &m.AvgBusyCores,
+			&m.ReclaimedLeases, &m.FallbackAdmissions, &m.RejectedDemands, &m.MaxWaitSec,
 		}
 	}
 	for _, s := range samples {

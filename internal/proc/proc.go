@@ -65,6 +65,21 @@ type Phase struct {
 	// as well, which keeps the co-scheduled set under the DRAM roofline
 	// instead of wasting core power past bandwidth saturation.
 	BWDemand float64
+	// DeclaredWSS, when positive, is the working-set size the phase
+	// *declares* to pp_begin instead of its physical WSS — a misbehaving
+	// or badly profiled application lying to the admission layer
+	// (internal/faults injects these). The machine model always uses the
+	// physical WSS; only the scheduler sees the lie.
+	DeclaredWSS pp.Bytes
+	// LeakEnd marks a declared phase whose pp_end call is never made: the
+	// period's demand stays registered with the resource monitor until a
+	// lease reclaims it. Fault injection only.
+	LeakEnd bool
+	// CrashFrac, when in (0, 1], makes every thread of the process die
+	// after executing that fraction of this phase's instructions — inside
+	// the progress period, without a pp_end and without reaching later
+	// phases or barriers. Fault injection only.
+	CrashFrac float64
 }
 
 // OccupancyBytes returns how much LLC the phase can actually occupy: its
@@ -76,10 +91,15 @@ func (ph *Phase) OccupancyBytes() pp.Bytes {
 	return ph.WSS
 }
 
-// Demand returns the pp.Demand the thread would declare for this phase:
-// the occupancy it will hold in the LLC (partition-capped).
+// Demand returns the pp.Demand the thread declares for this phase: the
+// occupancy it will hold in the LLC (partition-capped), or the DeclaredWSS
+// lie when fault injection planted one.
 func (ph *Phase) Demand() pp.Demand {
-	return pp.Demand{Resource: pp.ResourceLLC, WorkingSet: ph.OccupancyBytes(), Reuse: ph.Reuse}
+	ws := ph.OccupancyBytes()
+	if ph.DeclaredWSS > 0 {
+		ws = ph.DeclaredWSS
+	}
+	return pp.Demand{Resource: pp.ResourceLLC, WorkingSet: ws, Reuse: ph.Reuse}
 }
 
 // Demands returns every resource demand the phase declares: the LLC
@@ -117,6 +137,10 @@ func (ph *Phase) Validate() error {
 		return fmt.Errorf("proc: phase %q negative cache partition", ph.Name)
 	case ph.BWDemand < 0:
 		return fmt.Errorf("proc: phase %q negative bandwidth demand", ph.Name)
+	case ph.DeclaredWSS < 0:
+		return fmt.Errorf("proc: phase %q negative declared working set", ph.Name)
+	case ph.CrashFrac < 0 || ph.CrashFrac > 1:
+		return fmt.Errorf("proc: phase %q crash fraction %v outside [0,1]", ph.Name, ph.CrashFrac)
 	}
 	return nil
 }
