@@ -9,6 +9,8 @@ package rdasched
 // reached through the cmd/ tools and examples.
 
 import (
+	"io"
+
 	"rdasched/internal/core"
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
@@ -16,6 +18,8 @@ import (
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
 	"rdasched/internal/sim"
+	"rdasched/internal/telemetry"
+	"rdasched/internal/telemetry/trace"
 	"rdasched/internal/workloads"
 )
 
@@ -129,6 +133,32 @@ type (
 	// RunConfig describes one measured configuration.
 	RunConfig = perf.RunConfig
 )
+
+// Telemetry (the observability layer): a metrics registry fed by the
+// scheduler's decision path and streamed decision traces. Enable both
+// through RunConfig.Telemetry / RunConfig.Trace; the collected registry
+// and spans come back on Metrics.Telemetry / Metrics.Spans.
+type (
+	// TelemetryRegistry holds counters, gauges, and log-bucketed
+	// histograms, with Prometheus text and JSON encoders.
+	TelemetryRegistry = telemetry.Registry
+	// TraceSpan is one progress period's begin→admit→end lifecycle.
+	TraceSpan = trace.Span
+	// SchedEvent is one raw decision-path event.
+	SchedEvent = core.Event
+	// EventSink receives the scheduler's decision stream (AddSink).
+	EventSink = core.EventSink
+)
+
+// NewTelemetryRegistry returns an empty metrics registry, e.g. to pass
+// to Scheduler.SetMetrics on a hand-wired stack.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// WriteChromeTrace writes spans as Chrome trace-event JSON, loadable in
+// Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
+	return trace.WriteChrome(w, spans)
+}
 
 // Table2 returns the paper's eight workloads.
 func Table2() []Workload { return workloads.Table2() }

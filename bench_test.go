@@ -17,6 +17,7 @@ import (
 	"rdasched/internal/experiments"
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
+	"rdasched/internal/pp"
 	"rdasched/internal/proc"
 	"rdasched/internal/workloads"
 )
@@ -245,4 +246,30 @@ func BenchmarkAblationTaskPoolParking(b *testing.B) {
 		ratio = mp.GFLOPS / mn.GFLOPS
 	}
 	b.ReportMetric(ratio, "pooled/naive-gflops")
+}
+
+// BenchmarkTelemetryOverhead contrasts the same E1-sized strict run with
+// telemetry disabled (the default: the decision path early-returns
+// before building an event) and fully enabled (metrics registry plus
+// span collector). Compare the sub-benchmarks' ns/op to read the cost of
+// observation; the measured numbers themselves are identical either way.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	w := proc.ScaleInstr(workloads.StreamingMix(pp.MB(0.5)), 0.1)
+	for _, on := range []bool{false, true} {
+		name := "disabled"
+		if on {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			rc := perf.RunConfig{
+				Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+				Telemetry: on, Trace: on,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := perf.Run(w, rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

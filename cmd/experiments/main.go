@@ -30,7 +30,7 @@ func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
-		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, or factor")
+		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, factor, or waits")
 		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
@@ -39,6 +39,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent replications (output is identical for any value)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		traceDir = flag.String("trace-dir", "", "write one Chrome/Perfetto trace-event JSON file per measured cell into this directory")
+		metrics  = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after harnesses that collect one (e4, waits)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 	opt.JitterFrac = *jitter
 	opt.Seed = *seed
 	opt.Jobs = *jobs
+	opt.TraceDir = *traceDir
 
 	emit := func(t *report.Table) {
 		if *markdown {
@@ -162,8 +165,20 @@ func main() {
 				emit(res.Table())
 				return nil
 			})
+		case "waits":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunWaitProfile(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				if *metrics {
+					return res.Merged.WritePrometheus(os.Stdout)
+				}
+				return nil
+			})
 		default:
-			fatal(fmt.Errorf("unknown extension %q (have partitioning, reserve, bandwidth, calibration, factor)", name))
+			fatal(fmt.Errorf("unknown extension %q (have partitioning, reserve, bandwidth, calibration, factor, waits)", name))
 		}
 	}
 
@@ -176,6 +191,9 @@ func main() {
 					return err
 				}
 				emit(res.Table())
+				if *metrics {
+					return res.Telemetry.WritePrometheus(os.Stdout)
+				}
 				return nil
 			})
 		default:
@@ -196,6 +214,7 @@ func main() {
 		addExt("bandwidth")
 		addExt("calibration")
 		addExt("factor")
+		addExt("waits")
 		addExperiment("e4")
 	case *table != 0:
 		addTable(*table)

@@ -6,6 +6,7 @@
 //
 //	rdasched -workload water_nsq -policy strict
 //	rdasched -workload BLAS-3 -policy compromise -reps 4 -jitter 0.02
+//	rdasched -workload water_nsq -policy strict -trace out.json -metrics
 //	rdasched -list
 package main
 
@@ -21,21 +22,25 @@ import (
 	"rdasched/internal/perf"
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
+	"rdasched/internal/telemetry/trace"
 	"rdasched/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "Table 2 workload name (see -list)")
-		policy   = flag.String("policy", "default", "scheduling policy: default, strict, or compromise")
-		reps     = flag.Int("reps", 4, "measurement repetitions to average (the paper uses 4)")
-		jitter   = flag.Float64("jitter", 0.02, "run-to-run phase-length variation (fraction)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		scale    = flag.Float64("scale", 1, "shrink phase lengths for quick runs (0 < scale ≤ 1)")
-		list     = flag.Bool("list", false, "list workloads and exit")
-		all      = flag.Bool("all", false, "run every workload under every policy")
-		asJSON   = flag.Bool("json", false, "emit the measurement as JSON instead of a table")
-		timeline = flag.Bool("timeline", false, "render a core-utilization timeline and the scheduler's last decisions")
+		workload  = flag.String("workload", "", "Table 2 workload name (see -list)")
+		policy    = flag.String("policy", "default", "scheduling policy: default, strict, or compromise")
+		reps      = flag.Int("reps", 4, "measurement repetitions to average (the paper uses 4)")
+		jitter    = flag.Float64("jitter", 0.02, "run-to-run phase-length variation (fraction)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		scale     = flag.Float64("scale", 1, "shrink phase lengths for quick runs (0 < scale ≤ 1)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		all       = flag.Bool("all", false, "run every workload under every policy")
+		asJSON    = flag.Bool("json", false, "emit the measurement as JSON instead of a table")
+		timeline  = flag.Bool("timeline", false, "render a core-utilization timeline and the scheduler's last decisions")
+		tracePath = flag.String("trace", "", "write the run's decision spans as Chrome/Perfetto trace-event JSON to this file")
+		metrics   = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after the report")
+		jobs      = flag.Int("jobs", 1, "concurrent repetitions (output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -84,9 +89,17 @@ func main() {
 		Repetitions: *reps,
 		JitterFrac:  *jitter,
 		Seed:        *seed,
+		Telemetry:   *metrics || *tracePath != "",
+		Trace:       *tracePath != "",
+		Jobs:        *jobs,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, mean.Spans); err != nil {
+			fatal(err)
+		}
 	}
 	if *asJSON {
 		out := struct {
@@ -100,9 +113,34 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
+		if *metrics && mean.Telemetry != nil {
+			if err := mean.Telemetry.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
 	printMetrics(*workload, *policy, mean, sd)
+	if *metrics && mean.Telemetry != nil {
+		fmt.Println()
+		if err := mean.Telemetry.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the spans of a measured run as a Chrome trace-event
+// JSON file, loadable in Perfetto or chrome://tracing.
+func writeTrace(path string, spans []trace.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = trace.WriteChrome(f, spans)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func runAll(reps int, jitter float64, seed uint64, scale float64) error {

@@ -129,7 +129,7 @@ func (s *Scheduler) reclaim(per *period) {
 	}
 	s.reclaimed[per.key] = true
 	s.stats.Reclaimed++
-	s.logEvent(EventReclaim, per.key, per.demands[0])
+	s.emit(EventReclaim, per, per.key, per.demands[0])
 	s.wakeWaitlist()
 }
 
@@ -144,10 +144,13 @@ func (s *Scheduler) fallbackAdmit(per *period) {
 	s.waitlist.Remove(per.ticket)
 	per.admitted = true
 	per.untracked = true
+	if s.clock != nil {
+		per.admittedAt = s.clock()
+	}
 	delete(s.parked, per.key.procID)
 	s.stats.Fallbacks++
 	s.noteWait(per)
-	s.logEvent(EventFallback, per.key, per.demands[0])
+	s.emit(EventFallback, per, per.key, per.demands[0])
 	s.scheduleLease(per)
 	s.release(per)
 }

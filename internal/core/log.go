@@ -7,11 +7,13 @@ import (
 	"rdasched/internal/sim"
 )
 
-// Decision log: an optional bounded trace of every admission decision the
-// scheduler makes, for debugging schedules and for the observability a
-// production scheduler extension would expose (the kernel prototype's
-// equivalent would be a tracepoint). Disabled by default; EnableLog turns
-// it on with a fixed capacity ring.
+// Decision stream: every admission decision the scheduler makes is
+// published as an Event to a set of subscribed sinks (the kernel
+// prototype's equivalent would be a tracepoint). The bounded ring that
+// backs EnableLog/Events is one such sink; the telemetry layer
+// (internal/telemetry/trace) subscribes span collectors the same way.
+// With no sinks attached and no metrics registry bound, the decision
+// path costs one branch and allocates nothing.
 
 // EventKind classifies a logged scheduling decision.
 type EventKind int
@@ -65,21 +67,35 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one logged decision.
+// Event is one published decision.
 type Event struct {
-	At    sim.Time
-	Kind  EventKind
+	At   sim.Time
+	Kind EventKind
+	// ID is the period's admission ID (0 when the decision has no
+	// registered period, e.g. a late end).
+	ID    pp.ID
 	Proc  int
 	Phase int
 	// Demand is the period's primary (LLC) demand.
 	Demand pp.Demand
 	// Load is the LLC load *after* the decision took effect.
 	Load pp.Bytes
+	// Wait is how long the period sat on the waitlist before this
+	// decision; nonzero only on EventWake and EventFallback (and only
+	// with a bound Clock).
+	Wait sim.Duration
 }
 
 func (e Event) String() string {
 	return fmt.Sprintf("%v %-5s proc=%d phase=%d demand=%v load=%v",
 		e.At, e.Kind, e.Proc, e.Phase, e.Demand.WorkingSet, e.Load)
+}
+
+// EventSink receives the scheduler's decision stream. Record is called
+// synchronously on the decision path in virtual-time order; sinks must
+// not call back into the scheduler.
+type EventSink interface {
+	Record(Event)
 }
 
 // Clock supplies timestamps for the decision log; machine.Machine's Now
@@ -89,34 +105,91 @@ type Clock func() sim.Time
 // SetClock binds the timestamp source (typically machine.Now).
 func (s *Scheduler) SetClock(c Clock) { s.clock = c }
 
-// EnableLog starts recording decisions into a ring of the given capacity;
-// n <= 0 disables logging.
-func (s *Scheduler) EnableLog(n int) {
+// AddSink subscribes a sink to the decision stream.
+func (s *Scheduler) AddSink(sink EventSink) {
+	if sink != nil {
+		s.sinks = append(s.sinks, sink)
+	}
+}
+
+// EventRing is a bounded ring sink keeping the most recent events. It
+// backs the scheduler's EnableLog/Events debugging surface and doubles
+// as the reference EventSink implementation.
+type EventRing struct {
+	buf   []Event
+	start int
+	drops uint64
+}
+
+// NewEventRing returns a ring keeping the last n events (n must be
+// positive).
+func NewEventRing(n int) *EventRing {
 	if n <= 0 {
-		s.log = nil
-		s.logCap = 0
+		panic(fmt.Sprintf("core: non-positive ring capacity %d", n))
+	}
+	return &EventRing{buf: make([]Event, 0, n)}
+}
+
+// Record implements EventSink: once the ring is full, each new event
+// overwrites the oldest and counts as a drop.
+func (r *EventRing) Record(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
 		return
 	}
-	s.log = make([]Event, 0, n)
-	s.logCap = n
-	s.logDrop = 0
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.drops++
 }
 
-// Events returns the recorded decisions in order (oldest first) and the
-// number of events dropped once the ring filled.
-func (s *Scheduler) Events() ([]Event, uint64) {
-	out := make([]Event, len(s.log))
-	if s.logStart == 0 {
-		copy(out, s.log)
-	} else {
-		n := copy(out, s.log[s.logStart:])
-		copy(out[n:], s.log[:s.logStart])
+// Events returns the recorded events oldest-first.
+func (r *EventRing) Events() []Event {
+	out := make([]Event, len(r.buf))
+	n := copy(out, r.buf[r.start:])
+	copy(out[n:], r.buf[:r.start])
+	return out
+}
+
+// Drops returns how many events were overwritten after the ring filled.
+func (r *EventRing) Drops() uint64 { return r.drops }
+
+// EnableLog starts recording decisions into a fresh ring of the given
+// capacity; n <= 0 disables the ring. Each call replaces the previous
+// ring entirely — position and drop count start from zero, so events
+// recorded before a re-enable can never leak into the new ring.
+func (s *Scheduler) EnableLog(n int) {
+	if s.ring != nil {
+		for i, sink := range s.sinks {
+			if sink == EventSink(s.ring) {
+				s.sinks = append(s.sinks[:i], s.sinks[i+1:]...)
+				break
+			}
+		}
+		s.ring = nil
 	}
-	return out, s.logDrop
+	if n <= 0 {
+		return
+	}
+	s.ring = NewEventRing(n)
+	s.sinks = append(s.sinks, s.ring)
 }
 
-func (s *Scheduler) logEvent(kind EventKind, key periodKey, d pp.Demand) {
-	if s.logCap == 0 {
+// Events returns the ring-recorded decisions in order (oldest first)
+// and the number of events dropped once the ring filled. Without
+// EnableLog it returns nothing.
+func (s *Scheduler) Events() ([]Event, uint64) {
+	if s.ring == nil {
+		return nil, 0
+	}
+	return s.ring.Events(), s.ring.Drops()
+}
+
+// emit publishes one decision to every sink and samples the metrics
+// registry. per is the decision's period when one is registered (nil
+// for late ends). The early return keeps the disabled path free: no
+// Event is built, nothing allocates.
+func (s *Scheduler) emit(kind EventKind, per *period, key periodKey, d pp.Demand) {
+	if len(s.sinks) == 0 && s.met == nil {
 		return
 	}
 	var at sim.Time
@@ -127,12 +200,16 @@ func (s *Scheduler) logEvent(kind EventKind, key periodKey, d pp.Demand) {
 		At: at, Kind: kind, Proc: key.procID, Phase: key.phaseIdx,
 		Demand: d, Load: s.rm.Usage(pp.ResourceLLC),
 	}
-	if len(s.log) < s.logCap {
-		s.log = append(s.log, e)
-		return
+	if per != nil {
+		e.ID = per.id
+		if (kind == EventWake || kind == EventFallback) && s.clock != nil {
+			e.Wait = at.DurationSince(per.enqueuedAt)
+		}
 	}
-	// Ring: overwrite the oldest.
-	s.log[s.logStart] = e
-	s.logStart = (s.logStart + 1) % s.logCap
-	s.logDrop++
+	for _, sink := range s.sinks {
+		sink.Record(e)
+	}
+	if s.met != nil {
+		s.observeMetrics(per, e)
+	}
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"rdasched/internal/pp"
+	"rdasched/internal/telemetry"
+)
+
+// Metrics integration: the scheduler can sample a telemetry.Registry on
+// its decision path (SetMetrics) and publish its end-of-run counters
+// into one (PublishStats). The two are deliberately split:
+//
+//   - Live sampling fills the distributions aggregates cannot recover —
+//     wait-time, period-length, LLC-occupancy, and waitlist-depth
+//     histograms, one observation per decision. It costs a few
+//     histogram updates per decision and nothing when no registry is
+//     bound.
+//
+//   - PublishStats copies the Stats counters (begins, admissions,
+//     denials, reclaims, fallbacks, rejections, …) into a registry
+//     once, at the end of a run. Counters keep Stats as their single
+//     source of truth — the decision path never double-counts — while
+//     still reaching the Prometheus/JSON expositions.
+//
+// Registries are single-goroutine; parallel replications each bind
+// their own and the harness merges them in job-index order.
+
+// Metric names exported by the scheduler.
+const (
+	// Histograms, sampled on the decision path (SetMetrics).
+	MetricWaitSeconds    = "rda_wait_seconds"          // waitlist time per admission (0 for immediate admits)
+	MetricPeriodSeconds  = "rda_period_seconds"        // admitted lifetime per ended/reclaimed period
+	MetricOccupancyBytes = "rda_llc_occupancy_bytes"   // LLC load after each decision
+	MetricWaitlistDepth  = "rda_waitlist_depth_periods" // waitlist length after each decision
+
+	// Counters and gauges, published from Stats (PublishStats).
+	MetricBegins         = "rda_periods_begun_total"
+	MetricEnds           = "rda_periods_ended_total"
+	MetricAdmitted       = "rda_periods_admitted_total"
+	MetricDenied         = "rda_periods_denied_total"
+	MetricWoken          = "rda_threads_woken_total"
+	MetricSafeguards     = "rda_safeguard_admissions_total"
+	MetricReclaimed      = "rda_leases_reclaimed_total"
+	MetricReclaimedBytes = "rda_reclaimed_bytes_total"
+	MetricFallbacks      = "rda_fallback_admissions_total"
+	MetricRejected       = "rda_demands_rejected_total"
+	MetricLateEnds       = "rda_late_ends_total"
+	MetricMaxWaitSeconds = "rda_max_wait_seconds"
+	MetricActivePeriods  = "rda_active_periods"
+	MetricLLCLoadBytes   = "rda_llc_load_bytes"
+)
+
+// schedMetrics holds pre-resolved instrument handles so the decision
+// path never does a map lookup.
+type schedMetrics struct {
+	waitSeconds    *telemetry.Histogram
+	periodSeconds  *telemetry.Histogram
+	occupancyBytes *telemetry.Histogram
+	waitlistDepth  *telemetry.Histogram
+}
+
+// SetMetrics binds a registry sampled on every scheduling decision;
+// nil detaches it. Wait and period-length histograms need a bound
+// Clock (SetClock) to be meaningful — without one every duration reads
+// zero.
+func (s *Scheduler) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		s.met = nil
+		return
+	}
+	s.met = &schedMetrics{
+		waitSeconds:    reg.Histogram(MetricWaitSeconds),
+		periodSeconds:  reg.Histogram(MetricPeriodSeconds),
+		occupancyBytes: reg.Histogram(MetricOccupancyBytes),
+		waitlistDepth:  reg.Histogram(MetricWaitlistDepth),
+	}
+}
+
+// observeMetrics samples the bound registry for one decision. Called
+// only from emit, after the nil check.
+func (s *Scheduler) observeMetrics(per *period, e Event) {
+	m := s.met
+	m.occupancyBytes.Observe(float64(e.Load))
+	m.waitlistDepth.Observe(float64(s.waitlist.Len()))
+	switch e.Kind {
+	case EventAdmit, EventWake, EventFallback:
+		m.waitSeconds.Observe(e.Wait.Seconds())
+	case EventEnd, EventReclaim:
+		if per != nil && s.clock != nil {
+			m.periodSeconds.Observe(e.At.DurationSince(per.admittedAt).Seconds())
+		}
+	}
+}
+
+// PublishStats copies the activity counters and end-state gauges into
+// reg. Call it once per run, after the run (and any Quiesce) finished;
+// each call adds the full counter values, so publishing the same
+// scheduler into the same registry twice double-counts.
+func (s *Scheduler) PublishStats(reg *telemetry.Registry) {
+	st := s.stats
+	reg.Counter(MetricBegins).Add(st.Begins)
+	reg.Counter(MetricEnds).Add(st.Ends)
+	reg.Counter(MetricAdmitted).Add(st.Admitted)
+	reg.Counter(MetricDenied).Add(st.Denied)
+	reg.Counter(MetricWoken).Add(st.Woken)
+	reg.Counter(MetricSafeguards).Add(st.Safegrds)
+	reg.Counter(MetricReclaimed).Add(st.Reclaimed)
+	reg.Counter(MetricReclaimedBytes).Add(uint64(st.ReclaimedBytes))
+	reg.Counter(MetricFallbacks).Add(st.Fallbacks)
+	reg.Counter(MetricRejected).Add(st.Rejected)
+	reg.Counter(MetricLateEnds).Add(st.LateEnds)
+	reg.Gauge(MetricMaxWaitSeconds).Set(st.MaxWait.Seconds())
+	reg.Gauge(MetricActivePeriods).Set(float64(s.ActivePeriods()))
+	reg.Gauge(MetricLLCLoadBytes).Set(float64(s.rm.Usage(pp.ResourceLLC)))
+}

@@ -64,6 +64,7 @@ type period struct {
 	// Waitlist bookkeeping for bounded waiting.
 	ticket     uint64
 	enqueuedAt sim.Time
+	admittedAt sim.Time
 	deadlineEv *sim.Event
 	leaseEv    *sim.Event
 }
@@ -96,12 +97,11 @@ type Scheduler struct {
 	reclaimed map[periodKey]bool
 	inside    map[int]periodKey // thread ID → period it is executing in
 
-	// Decision log (see log.go).
-	clock    Clock
-	log      []Event
-	logCap   int
-	logStart int
-	logDrop  uint64
+	// Decision stream (log.go) and metrics sampling (metrics.go).
+	clock Clock
+	sinks []EventSink
+	ring  *EventRing
+	met   *schedMetrics
 }
 
 // New builds a scheduler over the given policy and LLC capacity. The
@@ -240,7 +240,7 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 	key := periodKey{t.Process().ID(), phaseIdx}
 	if in, ok := s.inside[t.ID()]; ok && in == key {
 		s.stats.Rejected++
-		s.logEvent(EventReject, key, ph.Demand())
+		s.emit(EventReject, s.active[key], key, ph.Demand())
 		return true
 	}
 	per := s.active[key]
@@ -255,17 +255,20 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 		s.active[key] = per
 		s.byID[per.id] = per
 		s.stats.Begins++
-		s.logEvent(EventBegin, key, per.demands[0])
+		s.emit(EventBegin, per, key, per.demands[0])
 
 		if err := s.checkDemands(per.demands); errors.Is(err, ErrInvalidDemand) {
 			// Refuse to track the period; the thread runs under the stock
 			// scheduler and its end releases nothing.
 			per.untracked = true
 			per.admitted = true
+			if s.clock != nil {
+				per.admittedAt = s.clock()
+			}
 			per.refs = 1
 			s.inside[t.ID()] = key
 			s.stats.Rejected++
-			s.logEvent(EventReject, key, per.demands[0])
+			s.emit(EventReject, per, key, per.demands[0])
 			return true
 		}
 		if s.parked[key.procID] {
@@ -282,7 +285,7 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 			s.stats.Safegrds++
 		}
 		s.admit(per)
-		s.logEvent(EventAdmit, key, per.demands[0])
+		s.emit(EventAdmit, per, key, per.demands[0])
 		per.refs = 1
 		s.inside[t.ID()] = key
 		return true
@@ -325,7 +328,7 @@ func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	per := s.active[key]
 	if per == nil {
 		s.stats.LateEnds++
-		s.logEvent(EventLateEnd, key, ph.Demand())
+		s.emit(EventLateEnd, nil, key, ph.Demand())
 		return
 	}
 	if !per.admitted {
@@ -344,7 +347,7 @@ func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 		}
 	}
 	s.stats.Ends++
-	s.logEvent(EventEnd, key, per.demands[0])
+	s.emit(EventEnd, per, key, per.demands[0])
 	s.wakeWaitlist()
 }
 
@@ -373,7 +376,7 @@ func (s *Scheduler) wakeWaitlist() {
 			s.stats.Safegrds++
 		}
 		s.admit(per)
-		s.logEvent(EventWake, per.key, per.demands[0])
+		s.emit(EventWake, per, per.key, per.demands[0])
 		return true
 	})
 	for _, per := range woken {
@@ -402,6 +405,9 @@ func (s *Scheduler) admit(per *period) {
 		s.mustIncrement(d)
 	}
 	per.admitted = true
+	if s.clock != nil {
+		per.admittedAt = s.clock()
+	}
 	s.stats.Admitted++
 	s.scheduleLease(per)
 }
@@ -414,7 +420,7 @@ func (s *Scheduler) deny(per *period, t *machine.Thread) {
 	}
 	s.scheduleDeadline(per)
 	s.stats.Denied++
-	s.logEvent(EventDeny, per.key, per.demands[0])
+	s.emit(EventDeny, per, per.key, per.demands[0])
 	if per.taskPool {
 		s.parked[per.key.procID] = true
 	}

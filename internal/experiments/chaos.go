@@ -8,6 +8,7 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
 	"rdasched/internal/sim"
+	"rdasched/internal/telemetry"
 	"rdasched/internal/workloads"
 )
 
@@ -38,6 +39,12 @@ type ChaosRow struct {
 type ChaosResult struct {
 	Workload string
 	Rows     []ChaosRow
+	// Telemetry merges every cell's metrics registry in cell order: the
+	// robustness counters the table derives from core.Stats
+	// (rda_leases_reclaimed_total, rda_fallback_admissions_total,
+	// rda_demands_rejected_total, …) are also exported here, per run,
+	// for the Prometheus/JSON encoders.
+	Telemetry *telemetry.Registry
 }
 
 // chaosTimeouts derives the lease and admission deadline from the
@@ -71,6 +78,10 @@ func chaosTimeouts(w proc.Workload) (lease, deadline sim.Duration) {
 // the table is bit-identical for every worker count.
 func RunChaos(opt Options) (*ChaosResult, error) {
 	opt = opt.normalized()
+	// The chaos harness always runs instrumented: its whole point is the
+	// robustness layer's activity, so the counters flow through the
+	// telemetry registry as well as the core.Stats floats in the table.
+	opt.Telemetry = true
 	w := scaleWorkload(workloads.BLAS3(), opt.Scale)
 	lease, deadline := chaosTimeouts(w)
 	var cells []cell
@@ -99,12 +110,13 @@ func RunChaos(opt Options) (*ChaosResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	res := &ChaosResult{Workload: w.Name}
+	res := &ChaosResult{Workload: w.Name, Telemetry: telemetry.NewRegistry()}
 	i := 0
 	for _, p := range Policies() {
 		for _, rate := range ChaosRates {
 			res.Rows = append(res.Rows, ChaosRow{Policy: p.Name, Rate: rate,
 				Mean: ms[i].Mean, StdDev: ms[i].StdDev})
+			res.Telemetry.Merge(ms[i].Mean.Telemetry)
 			i++
 		}
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -207,9 +209,29 @@ func TestDeterminismStdDevAcrossJobs(t *testing.T) {
 			continue
 		}
 		for k := range rows {
-			if rows[k] != ref[k] {
+			if !reflect.DeepEqual(rows[k], ref[k]) {
 				t.Errorf("row %d differs at Jobs=%d:\n%+v\nvs Jobs=1:\n%+v", k, jobs, rows[k], ref[k])
 			}
 		}
 	}
+}
+
+// TestDeterminismWaitProfile covers the telemetry-backed harness: both
+// the rendered quantile table and the merged registry's Prometheus
+// exposition must be byte-identical for every worker count.
+func TestDeterminismWaitProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	assertIdenticalAcrossJobs(t, "waits", func(opt Options) ([]string, error) {
+		res, err := RunWaitProfile(opt)
+		if err != nil {
+			return nil, err
+		}
+		var b bytes.Buffer
+		if err := res.Merged.WritePrometheus(&b); err != nil {
+			return nil, err
+		}
+		return []string{res.Table().String(), b.String()}, nil
+	})
 }

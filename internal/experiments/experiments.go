@@ -8,7 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 
 	"rdasched/internal/core"
 	"rdasched/internal/machine"
@@ -16,6 +19,7 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
 	"rdasched/internal/runner"
+	"rdasched/internal/telemetry/trace"
 )
 
 // Options configures an experiment run.
@@ -39,6 +43,16 @@ type Options struct {
 	// Seed and its stable job index (runner.Seed), never from execution
 	// order, and results are collected by index.
 	Jobs int
+	// Telemetry attaches a metrics registry to every replication; cell
+	// aggregates then carry a merged registry in Mean.Telemetry. Purely
+	// observational — tables and goldens are unchanged.
+	Telemetry bool
+	// TraceDir, when non-empty, writes one Chrome trace-event JSON file
+	// per cell (named after the cell label) into the directory, loadable
+	// in Perfetto or chrome://tracing. Implies Telemetry. Files are
+	// written in cell order with virtual-clock timestamps only, so a
+	// trace is bit-identical for every Jobs value.
+	TraceDir string
 }
 
 // Defaults returns the paper's measurement setup: Table 1 machine, four
@@ -103,6 +117,8 @@ func measure(cells []cell, opt Options) ([]measured, error) {
 		c := cells[jobCell[i]]
 		rc := c.rc
 		rc.Seed = runner.Seed(opt.Seed, uint64(i))
+		rc.Telemetry = rc.Telemetry || opt.Telemetry || opt.TraceDir != ""
+		rc.Trace = rc.Trace || opt.TraceDir != ""
 		m, err := perf.Sample(c.w, rc, 0)
 		if err != nil {
 			return perf.Metrics{}, fmt.Errorf("%s (rep %d): %w", c.label, jobRep[i], err)
@@ -123,7 +139,54 @@ func measure(cells []cell, opt Options) ([]measured, error) {
 		out[ci] = measured{Mean: mean, StdDev: sd}
 		idx += n
 	}
+	if opt.TraceDir != "" {
+		if err := writeTraces(cells, out, opt.TraceDir); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
+}
+
+// traceFileName derives a cell's trace file name from its label:
+// lowercased, with every non-alphanumeric run collapsed to one dash.
+func traceFileName(label string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return b.String() + ".json"
+}
+
+// writeTraces exports one Chrome trace file per cell, in cell order.
+func writeTraces(cells []cell, ms []measured, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for ci := range cells {
+		path := filepath.Join(dir, traceFileName(cells[ci].label))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		err = trace.WriteChrome(f, ms[ci].Mean.Spans)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("experiments: trace %s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // scaleWorkload shrinks a workload's per-phase instruction counts. The

@@ -16,6 +16,8 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/runner"
 	"rdasched/internal/sim"
+	"rdasched/internal/telemetry"
+	"rdasched/internal/telemetry/trace"
 )
 
 // Metrics are the paper's evaluation metrics for one workload run.
@@ -47,6 +49,19 @@ type Metrics struct {
 	FallbackAdmissions float64
 	RejectedDemands    float64
 	MaxWaitSec         float64
+
+	// Telemetry is the run's metrics registry (RunConfig.Telemetry):
+	// the scheduler's counters plus wait-time, period-length,
+	// occupancy, and waitlist-depth histograms. On an aggregate it is
+	// the merge of every repetition's registry in repetition order.
+	// Excluded from JSON encodings of Metrics — use its own
+	// WriteJSON/WritePrometheus encoders.
+	Telemetry *telemetry.Registry `json:"-"`
+	// Spans are the run's decision traces (RunConfig.Trace), one span
+	// per progress period. On an aggregate they are every repetition's
+	// spans concatenated in repetition order, each stamped with its
+	// repetition index.
+	Spans []trace.Span `json:"-"`
 }
 
 // RunConfig describes one measured configuration.
@@ -83,6 +98,19 @@ type RunConfig struct {
 	// degraded to stock-scheduler admission (0 disables; see
 	// core.SetAdmissionDeadline).
 	AdmitDeadline sim.Duration
+
+	// Telemetry attaches a fresh metrics registry to each repetition's
+	// scheduler (Metrics.Telemetry). Only meaningful with a non-nil
+	// Policy — the baseline has no scheduler to observe.
+	Telemetry bool
+	// Trace subscribes a span collector to each repetition's decision
+	// stream (Metrics.Spans).
+	Trace bool
+	// Jobs fans repetitions out across a worker pool (internal/runner);
+	// <= 1 runs them serially. Results are bit-identical for every
+	// value: each repetition is a pure function of (w, rc, rep), and
+	// samples are aggregated in repetition order.
+	Jobs int
 }
 
 // Reps returns the effective repetition count (0 means 1).
@@ -94,8 +122,21 @@ func (rc RunConfig) Reps() int {
 }
 
 // Run measures a workload and returns the mean metrics and their
-// standard deviation across repetitions.
+// standard deviation across repetitions. With rc.Jobs > 1 the
+// repetitions run concurrently on a worker pool; the result is
+// bit-identical to the serial loop because every repetition is a pure
+// function of its index and samples are aggregated in repetition
+// order.
 func Run(w proc.Workload, rc RunConfig) (mean, stddev Metrics, err error) {
+	if rc.Jobs > 1 {
+		samples, err := runner.Map(rc.Jobs, rc.Reps(), func(i int) (Metrics, error) {
+			return Sample(w, rc, i)
+		})
+		if err != nil {
+			return Metrics{}, Metrics{}, fmt.Errorf("perf: %w", err)
+		}
+		return Aggregate(samples)
+	}
 	var samples []Metrics
 	for i := 0; i < rc.Reps(); i++ {
 		m, err := Sample(w, rc, i)
@@ -144,12 +185,22 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		gate = schd
 	}
 	m := machine.New(cfg, gate)
+	var reg *telemetry.Registry
+	var col *trace.Collector
 	if schd != nil {
 		schd.SetWaker(m)
 		schd.SetClock(m.Now)
 		schd.SetTimer(m.Engine())
 		schd.SetLease(rc.Lease)
 		schd.SetAdmissionDeadline(rc.AdmitDeadline)
+		if rc.Telemetry {
+			reg = telemetry.NewRegistry()
+			schd.SetMetrics(reg)
+		}
+		if rc.Trace {
+			col = trace.NewCollector()
+			schd.AddSink(col)
+		}
 	}
 	if err := m.AddWorkload(w); err != nil {
 		return Metrics{}, err
@@ -165,8 +216,23 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		// monitor reads zero and the counters include the residue.
 		schd.Quiesce()
 		rob = schd.Stats()
+		if reg != nil {
+			schd.PublishStats(reg)
+		}
+		if col != nil {
+			// Quiesce already closed admitted spans via reclaim events;
+			// this closes the still-waitlisted ones.
+			col.Finish(m.Now())
+		}
+	}
+	var spans []trace.Span
+	if col != nil {
+		spans = col.Spans()
 	}
 	return Metrics{
+		Telemetry: reg,
+		Spans:     spans,
+
 		SystemJ:       res.SystemJ,
 		DRAMJ:         res.DRAMJ,
 		PackageJ:      res.PackageJ,
@@ -235,13 +301,26 @@ func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 			&m.ReclaimedLeases, &m.FallbackAdmissions, &m.RejectedDemands, &m.MaxWaitSec,
 		}
 	}
-	for _, s := range samples {
+	for rep, s := range samples {
 		s := s
 		for i, f := range fields(&s) {
 			*fields(&mean)[i] += *f / n
 		}
 		mean.Blocks += s.Blocks / uint64(len(samples))
 		mean.Wakeups += s.Wakeups / uint64(len(samples))
+		// Telemetry folds, it does not average: registries merge in
+		// repetition order, spans concatenate stamped with their
+		// repetition index.
+		if s.Telemetry != nil {
+			if mean.Telemetry == nil {
+				mean.Telemetry = telemetry.NewRegistry()
+			}
+			mean.Telemetry.Merge(s.Telemetry)
+		}
+		for _, sp := range s.Spans {
+			sp.Rep = rep
+			mean.Spans = append(mean.Spans, sp)
+		}
 	}
 	for _, s := range samples {
 		s := s

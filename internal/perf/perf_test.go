@@ -2,6 +2,7 @@ package perf
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"rdasched/internal/core"
@@ -80,7 +81,7 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config diverged: %+v vs %+v", a, b)
 	}
 }

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdasched/internal/core"
+	"rdasched/internal/machine"
+	"rdasched/internal/telemetry/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+func telemetryRC(jobs int) RunConfig {
+	return RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+		Repetitions: 4, JitterFrac: 0.02, Seed: 7,
+		Telemetry: true, Trace: true, Jobs: jobs,
+	}
+}
+
+// TestTelemetryCollection checks that an instrumented run carries a
+// merged registry and span set whose totals line up with the metrics.
+func TestTelemetryCollection(t *testing.T) {
+	mean, _, err := Run(tinyWorkload(8, true), telemetryRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Telemetry == nil {
+		t.Fatal("no registry collected")
+	}
+	// 8 procs × 1 period × 4 reps.
+	if got := mean.Telemetry.Counter(core.MetricBegins).Value(); got != 32 {
+		t.Fatalf("begun periods = %d, want 32", got)
+	}
+	if got := mean.Telemetry.Counter(core.MetricEnds).Value(); got != 32 {
+		t.Fatalf("ended periods = %d, want 32", got)
+	}
+	waits := mean.Telemetry.Histogram(core.MetricWaitSeconds)
+	if waits.Count() == 0 {
+		t.Fatal("empty wait histogram")
+	}
+	// 8 × 2 MB > 15 MB LLC: strict admission must make someone wait.
+	if waits.Max() <= 0 {
+		t.Fatal("no period ever waited under an over-capacity strict mix")
+	}
+	if got := len(mean.Spans); got != 32 {
+		t.Fatalf("spans = %d, want 32", got)
+	}
+	reps := map[int]int{}
+	for _, sp := range mean.Spans {
+		reps[sp.Rep]++
+		if sp.Close != "end" {
+			t.Fatalf("span closed %q, want \"end\" on a clean run: %+v", sp.Close, sp)
+		}
+	}
+	for rep := 0; rep < 4; rep++ {
+		if reps[rep] != 8 {
+			t.Fatalf("rep %d has %d spans, want 8 (map: %v)", rep, reps[rep], reps)
+		}
+	}
+}
+
+// TestTelemetryDisabledLeavesMetricsBare pins the disabled default:
+// no registry, no spans, and — because telemetry only observes — the
+// same measurement as an instrumented run.
+func TestTelemetryDisabledLeavesMetricsBare(t *testing.T) {
+	rcOff := telemetryRC(1)
+	rcOff.Telemetry, rcOff.Trace = false, false
+	off, _, err := Run(tinyWorkload(8, true), rcOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Telemetry != nil || off.Spans != nil {
+		t.Fatal("telemetry collected while disabled")
+	}
+	on, _, err := Run(tinyWorkload(8, true), telemetryRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on.Telemetry, on.Spans = nil, nil
+	if !bytes.Equal(mustJSON(t, off), mustJSON(t, on)) {
+		t.Fatal("enabling telemetry changed the measurement")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestTraceGoldenAndJobsDeterminism renders the Chrome trace for the
+// same configuration at Jobs=1 and Jobs=4 and requires byte identity —
+// the repetition fan-out must never leak into the exported trace — and
+// pins the Jobs-independent bytes against a golden file.
+func TestTraceGoldenAndJobsDeterminism(t *testing.T) {
+	render := func(jobs int) []byte {
+		t.Helper()
+		mean, _, err := Run(tinyWorkload(4, true), RunConfig{
+			Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+			Repetitions: 2, JitterFrac: 0.02, Seed: 7,
+			Telemetry: true, Trace: true, Jobs: jobs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := trace.WriteChrome(&b, mean.Spans); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace differs between -jobs 1 and -jobs 4:\n%s\n---\n%s", serial, parallel)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(serial, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	path := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("exported trace drifted from %s (run with -update if intended)", path)
+	}
+}
+
+// TestRunParallelMatchesSerial pins the whole Metrics aggregate, not
+// just the trace: Jobs must never change a number.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	s1, sd1, err := Run(tinyWorkload(6, true), telemetryRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, sd4, err := Run(tinyWorkload(6, true), telemetryRC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the numeric fields via JSON (telemetry excluded there)
+	// and the expositions separately.
+	if !bytes.Equal(mustJSON(t, s1), mustJSON(t, s4)) {
+		t.Fatalf("mean diverged across jobs:\n%s\n%s", mustJSON(t, s1), mustJSON(t, s4))
+	}
+	if !bytes.Equal(mustJSON(t, sd1), mustJSON(t, sd4)) {
+		t.Fatal("stddev diverged across jobs")
+	}
+	var e1, e4 bytes.Buffer
+	if err := s1.Telemetry.WritePrometheus(&e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.Telemetry.WritePrometheus(&e4); err != nil {
+		t.Fatal(err)
+	}
+	if e1.String() != e4.String() {
+		t.Fatalf("registry exposition diverged across jobs:\n%s\n---\n%s", e1.String(), e4.String())
+	}
+}

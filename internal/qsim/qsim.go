@@ -26,6 +26,20 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/sched"
 	"rdasched/internal/sim"
+	"rdasched/internal/telemetry"
+)
+
+// Metric names exported to a Config.Metrics registry. The qsim names are
+// deliberately distinct from the internal/core "rda_" family so a merged
+// registry keeps the two scheduler substrates side by side.
+const (
+	MetricWaitSeconds   = "qsim_wait_seconds"            // park time per strict-admission denial
+	MetricOccupancy     = "qsim_llc_occupancy_bytes"     // admitted load after each decision
+	MetricWaitlistDepth = "qsim_waitlist_depth_threads"  // parked threads after each decision
+	MetricCtxSwitches   = "qsim_context_switches_total"  // quantum switch-ins
+	MetricReloadLines   = "qsim_reload_lines_total"      // DRAM lines moved by switch-in reloads
+	MetricParked        = "qsim_threads_parked_total"    // strict-admission denials
+	MetricWoken         = "qsim_threads_woken_total"     // FIFO wakes after capacity release
 )
 
 // Config parameterizes the discrete simulation. Machine supplies the
@@ -43,6 +57,12 @@ type Config struct {
 	// sum of admitted working sets fits the LLC; denied threads wait off
 	// the run queue until a period releases capacity.
 	StrictAdmission bool
+	// Metrics, when non-nil, receives wait/occupancy/waitlist histograms
+	// sampled on every admission decision plus context-switch and reload
+	// counters (the qsim_* names above). Purely observational: recording
+	// never changes a scheduling decision, and a nil registry costs
+	// nothing.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the Table 1 machine with a 3 ms quantum.
@@ -107,6 +127,9 @@ type qthread struct {
 	// exceeds the cache's spare capacity, the set is gone (LRU).
 	resident   bool
 	evictAccum pp.Bytes
+	// parkedAt is when strict admission last parked the thread, for the
+	// wait-time histogram.
+	parkedAt sim.Time
 }
 
 type tstate int
@@ -151,6 +174,7 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 	}
 
 	var rq sched.RunQueue[*qthread]
+	var now sim.Time
 
 	// Strict-admission state: per-(proc, phase) period refcounts and the
 	// FIFO of denied threads (qsim's independent Algorithm 1).
@@ -161,6 +185,23 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 	if cfg.StrictAdmission {
 		admitted = make(map[pkey]int)
 	}
+	// Metric observation hooks; no-ops when no registry is attached.
+	observeDecision := func() {}
+	observeWait := func(d sim.Duration) {}
+	if cfg.Metrics != nil {
+		occHist := cfg.Metrics.Histogram(MetricOccupancy)
+		depthHist := cfg.Metrics.Histogram(MetricWaitlistDepth)
+		waitHist := cfg.Metrics.Histogram(MetricWaitSeconds)
+		woken := cfg.Metrics.Counter(MetricWoken)
+		observeDecision = func() {
+			occHist.Observe(float64(admittedLoad))
+			depthHist.Observe(float64(waitq.Len()))
+		}
+		observeWait = func(d sim.Duration) {
+			waitHist.Observe(d.Seconds())
+			woken.Inc()
+		}
+	}
 	// tryAdmit applies the strict predicate to t's current phase; it
 	// returns false after parking t on the wait queue.
 	tryAdmit := func(t *qthread) bool {
@@ -168,6 +209,7 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 		if admitted == nil || !ph.Declared {
 			return true
 		}
+		defer observeDecision()
 		k := pkey{t.proc, t.phase}
 		if admitted[k] > 0 {
 			admitted[k]++
@@ -180,7 +222,11 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 			return true
 		}
 		t.state = waiting
+		t.parkedAt = now
 		waitq.Enqueue(t)
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter(MetricParked).Inc()
+		}
 		return false
 	}
 	// release ends t's participation in its period, freeing capacity and
@@ -196,7 +242,8 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 		}
 		delete(admitted, k)
 		admittedLoad -= t.program[phase].OccupancyBytes()
-		return waitq.WakeAll(func(w *qthread) bool {
+		defer observeDecision()
+		woken := waitq.WakeAll(func(w *qthread) bool {
 			wph := &w.program[w.phase]
 			wk := pkey{w.proc, w.phase}
 			if admitted[wk] > 0 {
@@ -211,6 +258,10 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 			}
 			return false
 		})
+		for _, w := range woken {
+			observeWait(now.DurationSince(w.parkedAt))
+		}
+		return woken
 	}
 
 	for _, t := range threads {
@@ -220,7 +271,6 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{}
-	var now sim.Time
 	remainingThreads := len(threads)
 	quantum := cfg.Quantum
 	qSecs := quantum.Seconds()
@@ -404,5 +454,9 @@ func Run(w proc.Workload, cfg Config) (*Result, error) {
 	res.Elapsed = now.DurationSince(0)
 	res.SystemJ = meter.SystemJoules()
 	res.DRAMJ = meter.DRAMJoules()
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter(MetricCtxSwitches).Add(res.ContextSwitch)
+		cfg.Metrics.Counter(MetricReloadLines).Add(uint64(res.ReloadAccesses))
+	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
 	"rdasched/internal/sim"
+	"rdasched/internal/telemetry"
 	"rdasched/internal/workloads"
 )
 
@@ -337,5 +338,58 @@ func TestStrictAdmissionMultiThreadedBarriers(t *testing.T) {
 	want := 6.0 * 2 * 3e7
 	if math.Abs(res.Instructions-want) > 1 {
 		t.Fatalf("instructions = %v, want %v", res.Instructions, want)
+	}
+}
+
+// TestMetricsRegistry attaches a telemetry registry to an over-capacity
+// strict run and checks the sampled histograms and counters line up with
+// the run's own accounting.
+func TestMetricsRegistry(t *testing.T) {
+	w := mkWorkload(24, pp.MB(1.25), 5e7)
+	for i := range w.Procs {
+		for j := range w.Procs[i].Program {
+			w.Procs[i].Program[j].Declared = true
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.StrictAdmission = true
+	cfg.Metrics = telemetry.NewRegistry()
+	res, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Metrics.Counter(MetricCtxSwitches).Value(); got != res.ContextSwitch {
+		t.Fatalf("ctx switch counter %d != result %d", got, res.ContextSwitch)
+	}
+	parked := cfg.Metrics.Counter(MetricParked).Value()
+	woken := cfg.Metrics.Counter(MetricWoken).Value()
+	if parked == 0 {
+		t.Fatal("24 × 1.25 MB on a 15 MB LLC parked nobody")
+	}
+	if woken != parked {
+		t.Fatalf("woken %d != parked %d on a run-to-completion workload", woken, parked)
+	}
+	waits := cfg.Metrics.Histogram(MetricWaitSeconds)
+	if waits.Count() != woken || waits.Max() <= 0 {
+		t.Fatalf("wait histogram count %d max %v (woken %d)", waits.Count(), waits.Max(), woken)
+	}
+	occ := cfg.Metrics.Histogram(MetricOccupancy)
+	if occ.Count() == 0 || occ.Max() > float64(cfg.Machine.LLCCapacity) {
+		t.Fatalf("occupancy histogram count %d max %v exceeds capacity", occ.Count(), occ.Max())
+	}
+	if cfg.Metrics.Histogram(MetricWaitlistDepth).Max() <= 0 {
+		t.Fatal("waitlist depth never positive despite parking")
+	}
+
+	// The registry is observational: the same run without one must
+	// produce identical numbers.
+	bare := cfg
+	bare.Metrics = nil
+	res2, err := Run(w, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != *res2 {
+		t.Fatalf("metrics attachment changed the result:\n%+v\n%+v", res, res2)
 	}
 }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exposition encoders. Both iterate instruments in sorted-name order
+// and format numbers with strconv's shortest round-trip representation,
+// so a registry's exposition is a deterministic function of its
+// contents — expositions can be diffed, golden-pinned, and compared
+// across worker counts.
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Histograms render cumulative
+// le-buckets plus _sum and _count, like a native Prometheus histogram.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, name := range r.counterNames() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			name, name, r.counters[name].v); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.gaugeNames() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			name, name, fnum(r.gauges[name].v)); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.histNames() {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+				name, fnum(b.UpperBound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, h.count, name, fnum(h.sum), name, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fnum formats a float with the shortest representation that
+// round-trips, matching Prometheus client conventions.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// WriteJSON renders the registry as a single JSON object with
+// "counters", "gauges", and "histograms" members. encoding/json sorts
+// map keys, so the output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.v
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.v
+	}
+	hists := make(map[string]jsonHistogram, len(r.hists))
+	for name, h := range r.hists {
+		jh := jsonHistogram{
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		}
+		for _, b := range h.Buckets() {
+			jh.Buckets = append(jh.Buckets, jsonBucket{LE: b.UpperBound, Count: b.Count})
+		}
+		hists[name] = jh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{counters, gauges, hists})
+}

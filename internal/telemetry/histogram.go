@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed distribution: every positive observation
+// lands in the power-of-two bucket [2^(e-1), 2^e) selected with
+// math.Frexp, so bucketing costs one exponent extraction — no libm
+// calls whose rounding could differ across platforms — and ~60 buckets
+// cover the full float64 range. Non-positive observations land in a
+// dedicated zero bucket. The histogram keeps exact count, sum, min,
+// and max alongside the buckets; quantiles are read from the bucket
+// boundaries (an upper bound, so reported tails never understate).
+type Histogram struct {
+	buckets map[int]uint64 // frexp exponent → count, values in [2^(e-1), 2^e)
+	zero    uint64         // observations <= 0
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.zero++
+		return
+	}
+	_, e := math.Frexp(v)
+	h.buckets[e]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Min and Max return the extreme observations (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Max() float64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.count == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.zero += other.zero
+	for e, n := range other.buckets {
+		h.buckets[e] += n
+	}
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper boundary of the bucket holding the ceil(q*count)-th smallest
+// observation, clamped to the observed maximum. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	if rank <= h.zero {
+		return 0
+	}
+	cum := h.zero
+	for _, e := range h.exponents() {
+		cum += h.buckets[e]
+		if cum >= rank {
+			ub := math.Ldexp(1, e)
+			if ub > h.max {
+				return h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// exponents returns the populated bucket exponents in ascending order.
+func (h *Histogram) exponents() []int {
+	es := make([]int, 0, len(h.buckets))
+	for e := range h.buckets {
+		es = append(es, e)
+	}
+	sort.Ints(es)
+	return es
+}
+
+// Bucket is one populated histogram bucket in the exposition encoders:
+// Count observations with values < UpperBound (the zero bucket reports
+// UpperBound 0 and holds values <= 0).
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// Buckets returns the populated buckets in ascending boundary order,
+// with non-cumulative counts.
+func (h *Histogram) Buckets() []Bucket {
+	var bs []Bucket
+	if h.zero > 0 {
+		bs = append(bs, Bucket{UpperBound: 0, Count: h.zero})
+	}
+	for _, e := range h.exponents() {
+		bs = append(bs, Bucket{UpperBound: math.Ldexp(1, e), Count: h.buckets[e]})
+	}
+	return bs
+}

@@ -1,0 +1,136 @@
+// Package telemetry is the scheduler observability substrate: a
+// stdlib-only metrics registry (counters, gauges, log-bucketed
+// histograms) with Prometheus text-exposition and JSON encoders, plus
+// the trace subpackage's streaming decision spans.
+//
+// The registry is built for deterministic simulation, not for a live
+// multi-threaded server: instruments are plain fields with no atomics
+// or locks, every value derives from virtual-clock quantities, and
+// exposition iterates names in sorted order, so two runs that make the
+// same decisions render byte-identical expositions. Parallel experiment
+// replications (internal/runner) each own a private Registry; the
+// harness merges them with Merge in job-index order, which keeps the
+// aggregate a pure function of the job list exactly like every other
+// experiment output.
+package telemetry
+
+import (
+	"sort"
+)
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous float64 instrument (last value wins).
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add offsets the value.
+func (g *Gauge) Add(v float64) { g.v += v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry holds named instruments. Names follow Prometheus
+// conventions (snake_case, unit-suffixed, counters end in _total).
+// Lookups are get-or-create; hot paths should resolve instruments once
+// and keep the pointers.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named log-bucketed histogram, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds other into r: counters and histograms add, gauges take
+// the maximum (the only order-free combination for instantaneous
+// values; the gauges here — waitlist depth, active periods — are
+// "high-water" readings where max is also the useful aggregate).
+// Callers merging per-job registries must do so in job-index order so
+// that even float rounding is deterministic.
+func (r *Registry) Merge(other *Registry) {
+	if other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range other.gauges {
+		rg := r.Gauge(name)
+		if g.v > rg.v {
+			rg.v = g.v
+		}
+	}
+	for name, h := range other.hists {
+		r.Histogram(name).Merge(h)
+	}
+}
+
+// counterNames, gaugeNames, histNames return sorted name lists — the
+// iteration order every encoder uses.
+func (r *Registry) counterNames() []string { return sortedKeys(r.counters) }
+func (r *Registry) gaugeNames() []string   { return sortedKeys(r.gauges) }
+func (r *Registry) histNames() []string    { return sortedKeys(r.hists) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export. The format is the JSON object form of the
+// Trace Event Format (the chrome://tracing and Perfetto legacy-JSON
+// loader): a "traceEvents" array of complete ("X") and instant ("i")
+// events with microsecond timestamps. Mapping:
+//
+//   - pid = rep*1000 + proc, so each replication renders as its own
+//     process group and each simulated process as a track group;
+//   - tid = phase index, so a process's phases stack as rows and one
+//     (proc, phase) never overlaps itself;
+//   - a waitlisted period renders as a "wait" slice (Begin→Admit)
+//     followed by a "period" slice (Admit→End); an immediately admitted
+//     period renders as the "period" slice alone;
+//   - rejects and late ends render as instant events.
+//
+// Marshaling goes through encoding/json structs — field order is
+// declaration order, floats use strconv's shortest round-trip form —
+// so a trace is byte-for-byte deterministic in its spans.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts virtual picoseconds to trace microseconds.
+func usec[T ~int64](v T) float64 { return float64(v) / 1e6 }
+
+// chromeEvents converts spans to trace events in span order.
+func chromeEvents(spans []Span) []chromeEvent {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		pid := sp.Rep*1000 + sp.Proc
+		name := fmt.Sprintf("proc%d/phase%d", sp.Proc, sp.Phase)
+		if sp.Close == "instant" {
+			events = append(events, chromeEvent{
+				Name: name + " " + sp.Outcome, Cat: "mark", Ph: "i",
+				Ts: usec(sp.Begin), Pid: pid, Tid: sp.Phase, S: "t",
+				Args: map[string]any{"demand_bytes": int64(sp.Demand)},
+			})
+			continue
+		}
+		if w := sp.Wait(); w > 0 {
+			events = append(events, chromeEvent{
+				Name: name + " wait", Cat: "wait", Ph: "X",
+				Ts: usec(sp.Begin), Dur: usec(w), Pid: pid, Tid: sp.Phase,
+				Args: map[string]any{
+					"demand_bytes": int64(sp.Demand),
+					"outcome":      sp.Outcome,
+				},
+			})
+		}
+		if sp.Outcome == "unfinished" {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: name, Cat: "period", Ph: "X",
+			Ts: usec(sp.Admit), Dur: usec(sp.Run()), Pid: pid, Tid: sp.Phase,
+			Args: map[string]any{
+				"id":           int64(sp.ID),
+				"demand_bytes": int64(sp.Demand),
+				"outcome":      sp.Outcome,
+				"close":        sp.Close,
+				"wait_us":      usec(sp.Wait()),
+				"load_bytes":   int64(sp.Load),
+			},
+		})
+	}
+	return events
+}
+
+// WriteChrome writes the spans as a Chrome trace-event JSON object. The
+// encoded bytes are round-trip checked through json.Unmarshal before
+// anything is written, so a non-nil return guarantees w received either
+// nothing or a complete, valid document.
+func WriteChrome(w io.Writer, spans []Span) error {
+	doc := chromeTrace{
+		TraceEvents:     chromeEvents(spans),
+		DisplayTimeUnit: "ms",
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	data = append(data, '\n')
+	var check struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &check); err != nil {
+		return fmt.Errorf("trace: encoded document does not re-parse: %w", err)
+	}
+	if len(check.TraceEvents) != len(doc.TraceEvents) {
+		return fmt.Errorf("trace: round-trip lost events: %d != %d",
+			len(check.TraceEvents), len(doc.TraceEvents))
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,164 @@
+// Package trace turns the scheduler's streaming decision events into
+// per-period spans and exports them as Chrome trace-event JSON, the
+// format chrome://tracing, Perfetto, and speedscope all load. A span is
+// one progress period's lifecycle — begin → (admit | deny → wake |
+// fallback) → end/reclaim — with its wait and run durations split out,
+// which is exactly the picture aggregate counters and end-of-run
+// averages cannot show: where the waitlist backs up, which demands
+// wait longest, how occupancy interleaves.
+//
+// Everything is driven by virtual-clock timestamps, so a trace is a
+// deterministic function of the run: the same workload, seed, and
+// policy produce a byte-identical file no matter how many runner
+// workers executed sibling replications.
+package trace
+
+import (
+	"sort"
+
+	"rdasched/internal/core"
+	"rdasched/internal/pp"
+	"rdasched/internal/sim"
+)
+
+// Span is one progress period's lifecycle. For instantaneous marks
+// (rejects, late ends) Close is "instant" and the times collapse onto
+// Begin.
+type Span struct {
+	// Rep is the replication index the span came from; stamped by the
+	// harness when per-repetition collections are merged.
+	Rep int
+	// ID is the scheduler's admission ID (0 for marks with no
+	// registered period).
+	ID pp.ID
+	// Proc and Phase locate the period.
+	Proc, Phase int
+	// Begin is the pp_begin arrival; Admit is when the period started
+	// running (equal to Begin for immediate admissions); End is the
+	// pp_end, reclamation, or end-of-run close.
+	Begin, Admit, End sim.Time
+	// Outcome records how the period got to run: "admit" (immediately),
+	// "wake" (after a release), "fallback" (admission deadline),
+	// "reject" (invalid demand, ran untracked), or "unfinished" (still
+	// waitlisted when the run ended). Marks use "reject" / "late-end".
+	Outcome string
+	// Close records how the span closed: "end", "reclaim", "open" (still
+	// registered at Finish), or "instant" (a mark).
+	Close string
+	// Demand is the period's primary (LLC) demand.
+	Demand pp.Bytes
+	// Load is the LLC load after the closing decision.
+	Load pp.Bytes
+}
+
+// Wait is the time the period spent on the waitlist before running
+// (for "unfinished" spans, the whole lifetime was waiting).
+func (s Span) Wait() sim.Duration {
+	if s.Outcome == "unfinished" {
+		return s.End.DurationSince(s.Begin)
+	}
+	if s.Admit < s.Begin {
+		return 0
+	}
+	return s.Admit.DurationSince(s.Begin)
+}
+
+// Run is the time the period spent admitted.
+func (s Span) Run() sim.Duration {
+	if s.Outcome == "unfinished" || s.End < s.Admit {
+		return 0
+	}
+	return s.End.DurationSince(s.Admit)
+}
+
+// Collector assembles spans from a scheduler's decision stream. It
+// implements core.EventSink; subscribe it with Scheduler.AddSink. A
+// collector belongs to one run on one goroutine, like the scheduler it
+// observes.
+type Collector struct {
+	open  map[pp.ID]*Span
+	spans []Span
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{open: make(map[pp.ID]*Span)}
+}
+
+// Record implements core.EventSink.
+func (c *Collector) Record(e core.Event) {
+	switch e.Kind {
+	case core.EventBegin:
+		c.open[e.ID] = &Span{
+			ID: e.ID, Proc: e.Proc, Phase: e.Phase,
+			Begin: e.At, Demand: e.Demand.WorkingSet,
+		}
+	case core.EventAdmit, core.EventWake, core.EventFallback:
+		if sp := c.open[e.ID]; sp != nil {
+			sp.Admit = e.At
+			sp.Outcome = e.Kind.String()
+		}
+	case core.EventDeny:
+		// The wait is implicit: Begin marks the enqueue, the eventual
+		// wake/fallback sets Admit.
+	case core.EventEnd, core.EventReclaim:
+		if sp := c.open[e.ID]; sp != nil {
+			sp.End = e.At
+			sp.Close = "end"
+			if e.Kind == core.EventReclaim {
+				sp.Close = "reclaim"
+			}
+			sp.Load = e.Load
+			c.spans = append(c.spans, *sp)
+			delete(c.open, e.ID)
+		}
+	case core.EventReject:
+		if sp := c.open[e.ID]; sp != nil && sp.Outcome == "" {
+			// Invalid demand: the period runs, untracked.
+			sp.Admit = e.At
+			sp.Outcome = "reject"
+			return
+		}
+		c.mark(e, "reject")
+	case core.EventLateEnd:
+		c.mark(e, "late-end")
+	}
+}
+
+func (c *Collector) mark(e core.Event, outcome string) {
+	c.spans = append(c.spans, Span{
+		ID: e.ID, Proc: e.Proc, Phase: e.Phase,
+		Begin: e.At, Admit: e.At, End: e.At,
+		Outcome: outcome, Close: "instant",
+		Demand: e.Demand.WorkingSet, Load: e.Load,
+	})
+}
+
+// Finish closes every span still open at the end of a run — periods
+// whose threads were waitlisted (or registered) when the simulation
+// stopped — stamping them with the final time. Open spans are appended
+// in admission-ID order so the result is deterministic.
+func (c *Collector) Finish(at sim.Time) {
+	if len(c.open) == 0 {
+		return
+	}
+	ids := make([]pp.ID, 0, len(c.open))
+	for id := range c.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sp := c.open[id]
+		sp.End = at
+		sp.Close = "open"
+		if sp.Outcome == "" {
+			sp.Outcome = "unfinished"
+		}
+		c.spans = append(c.spans, *sp)
+		delete(c.open, id)
+	}
+}
+
+// Spans returns the collected spans in close order (the order their
+// final event arrived, which is virtual-time order).
+func (c *Collector) Spans() []Span { return c.spans }

@@ -1,0 +1,49 @@
+// Command jsoncheck validates that each argument file parses as JSON
+// and, for Chrome trace-event documents, that the traceEvents array is
+// present and non-empty. It exists so CI can validate exported traces
+// with the Go toolchain alone.
+//
+// Usage: go run ./scripts/jsoncheck file.json...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "jsoncheck: usage: jsoncheck file.json...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid JSON\n", path)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if raw, ok := doc["traceEvents"]; ok {
+		var events []json.RawMessage
+		if err := json.Unmarshal(raw, &events); err != nil {
+			return fmt.Errorf("traceEvents is not an array: %w", err)
+		}
+		if len(events) == 0 {
+			return fmt.Errorf("traceEvents is empty")
+		}
+		fmt.Printf("%s: %d trace events\n", path, len(events))
+	}
+	return nil
+}
