@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all test race fuzz vet bench experiments chaos examples cover clean
+.PHONY: all test race fuzz vet bench experiments chaos govern examples cover clean
 
 all: test
 
@@ -22,6 +22,7 @@ fuzz:
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzSchedulerInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDeterminism -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzChaosInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzGovernorInvariants -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -32,6 +33,10 @@ experiments:
 # E4: fault-injected admission (quick, shape-preserving scale).
 chaos:
 	$(GO) run ./cmd/experiments -experiment e4 -scale 0.2
+
+# E5: adaptive admission governor vs static policies under overload.
+govern:
+	$(GO) run ./cmd/experiments -experiment e5 -scale 0.2
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -91,6 +91,38 @@ type (
 	Duration = sim.Duration
 )
 
+// Adaptive admission governor: overload-aware policy degradation,
+// per-process misdeclaration quarantine, and starvation-free waitlist
+// aging. Attach it through RunConfig.Governor (or Scheduler.
+// EnableGovernor on a hand-wired stack).
+type (
+	// GovernorConfig tunes the governor's thresholds and windows.
+	GovernorConfig = core.GovernorConfig
+	// GovernorStats counts governor activity (ladder steps, breaker
+	// trips, reservations).
+	GovernorStats = core.GovernorStats
+	// GovernorLevel is the degradation ladder position
+	// (normal/degraded/shedding).
+	GovernorLevel = core.GovernorLevel
+	// BreakerState is a process's quarantine breaker position
+	// (closed/open/half-open).
+	BreakerState = core.BreakerState
+)
+
+// Re-exported governor states.
+const (
+	GovNormal       = core.GovNormal
+	GovDegraded     = core.GovDegraded
+	GovShedding     = core.GovShedding
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
+
+// DefaultGovernorConfig returns governor thresholds sized for the
+// Table 1 machine.
+func DefaultGovernorConfig() GovernorConfig { return core.DefaultGovernorConfig() }
+
 // Sentinel errors returned by the scheduler's public admission path
 // (Scheduler.CheckDemand, ResourceMonitor Increment/Decrement).
 var (

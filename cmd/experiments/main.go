@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 
+	"rdasched/internal/core"
 	"rdasched/internal/experiments"
 	"rdasched/internal/report"
 	"rdasched/internal/workloads"
@@ -31,7 +32,7 @@ func main() {
 		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
 		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, factor, or waits")
-		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission)")
+		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission) or e5 (overload: governor vs static policies)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
 		reps     = flag.Int("reps", 4, "repetitions per measurement")
@@ -40,7 +41,8 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent replications (output is identical for any value)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		traceDir = flag.String("trace-dir", "", "write one Chrome/Perfetto trace-event JSON file per measured cell into this directory")
-		metrics  = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after harnesses that collect one (e4, waits)")
+		metrics  = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after harnesses that collect one (e4, e5, waits)")
+		governor = flag.Bool("governor", false, "attach the adaptive admission governor to every scheduled cell (e5 configures its own)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,10 @@ func main() {
 	opt.Seed = *seed
 	opt.Jobs = *jobs
 	opt.TraceDir = *traceDir
+	if *governor {
+		cfg := core.DefaultGovernorConfig()
+		opt.Governor = &cfg
+	}
 
 	emit := func(t *report.Table) {
 		if *markdown {
@@ -196,8 +202,20 @@ func main() {
 				}
 				return nil
 			})
+		case "e5", "overload":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunOverload(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				if *metrics {
+					return res.Telemetry.WritePrometheus(os.Stdout)
+				}
+				return nil
+			})
 		default:
-			fatal(fmt.Errorf("unknown experiment %q (have e4)", name))
+			fatal(fmt.Errorf("unknown experiment %q (have e4, e5)", name))
 		}
 	}
 
@@ -216,6 +234,7 @@ func main() {
 		addExt("factor")
 		addExt("waits")
 		addExperiment("e4")
+		addExperiment("e5")
 	case *table != 0:
 		addTable(*table)
 	case *fig != 0:

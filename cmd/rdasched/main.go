@@ -41,6 +41,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write the run's decision spans as Chrome/Perfetto trace-event JSON to this file")
 		metrics   = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after the report")
 		jobs      = flag.Int("jobs", 1, "concurrent repetitions (output is identical for any value)")
+		governor  = flag.Bool("governor", false, "attach the adaptive admission governor (policy degradation, misdeclaration quarantine, waitlist aging)")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 		}
 		return
 	}
-	mean, sd, err := perf.Run(w, perf.RunConfig{
+	rc := perf.RunConfig{
 		Machine:     machine.DefaultConfig(),
 		Policy:      pol,
 		Repetitions: *reps,
@@ -92,7 +93,15 @@ func main() {
 		Telemetry:   *metrics || *tracePath != "",
 		Trace:       *tracePath != "",
 		Jobs:        *jobs,
-	})
+	}
+	if *governor {
+		if pol == nil {
+			fatal(fmt.Errorf("-governor needs a scheduling policy (-policy strict or compromise)"))
+		}
+		cfg := core.DefaultGovernorConfig()
+		rc.Governor = &cfg
+	}
+	mean, sd, err := perf.Run(w, rc)
 	if err != nil {
 		fatal(err)
 	}
@@ -179,6 +188,12 @@ func printMetrics(workload, policy string, m, sd perf.Metrics) {
 	t.AddRow("DRAM accesses", fmt.Sprintf("%.3g", m.DRAMAccesses), "")
 	t.AddRow("avg busy cores", fmt.Sprintf("%.1f", m.AvgBusyCores), "")
 	t.AddRow("pauses / wakeups", fmt.Sprintf("%d / %d", m.Blocks, m.Wakeups), "")
+	if gov := m.GovernorDegradations + m.GovernorRecoveries + m.GovernorQuarantines +
+		m.GovernorRestores + m.GovernorReservations; gov > 0 {
+		t.AddRow("governor degrade/recover", fmt.Sprintf("%.1f / %.1f", m.GovernorDegradations, m.GovernorRecoveries), "")
+		t.AddRow("governor quarantine/restore", fmt.Sprintf("%.1f / %.1f", m.GovernorQuarantines, m.GovernorRestores), "")
+		t.AddRow("governor reservations", fmt.Sprintf("%.1f", m.GovernorReservations), "")
+	}
 	fmt.Print(t.String())
 }
 

@@ -73,10 +73,14 @@ func (s *Scheduler) SetAdmissionDeadline(d sim.Duration) {
 func (s *Scheduler) AdmissionDeadline() sim.Duration { return s.deadline }
 
 func (s *Scheduler) scheduleLease(per *period) {
-	if s.lease <= 0 || s.timer == nil {
+	s.scheduleLeaseFor(per, s.govLease())
+}
+
+func (s *Scheduler) scheduleLeaseFor(per *period, d sim.Duration) {
+	if d <= 0 || s.timer == nil {
 		return
 	}
-	per.leaseEv = s.timer.After(s.lease, func() {
+	per.leaseEv = s.timer.After(d, func() {
 		per.leaseEv = nil
 		s.reclaim(per)
 	})
@@ -130,6 +134,7 @@ func (s *Scheduler) reclaim(per *period) {
 	s.reclaimed[per.key] = true
 	s.stats.Reclaimed++
 	s.emit(EventReclaim, per, per.key, per.demands[0])
+	s.govObserve(EventReclaim, 0)
 	s.wakeWaitlist()
 }
 
@@ -151,6 +156,11 @@ func (s *Scheduler) fallbackAdmit(per *period) {
 	s.stats.Fallbacks++
 	s.noteWait(per)
 	s.emit(EventFallback, per, per.key, per.demands[0])
+	if s.clock != nil {
+		s.govObserve(EventFallback, s.clock().DurationSince(per.enqueuedAt))
+	} else {
+		s.govObserve(EventFallback, 0)
+	}
 	s.scheduleLease(per)
 	s.release(per)
 }

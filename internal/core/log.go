@@ -40,6 +40,24 @@ const (
 	// EventLateEnd: a pp_end arrived for a reclaimed or unknown period
 	// and was dropped.
 	EventLateEnd
+
+	// Governor decisions (governor.go). Degrade/Recover are period-less
+	// ladder transitions: Proc is -1 and Phase carries the level after
+	// the step.
+	//
+	// EventGovernorDegrade: sustained pressure stepped the effective
+	// policy one level toward shedding.
+	EventGovernorDegrade
+	// EventGovernorRecover: sustained calm stepped it one level back.
+	EventGovernorRecover
+	// EventGovernorQuarantine: a period from a process with an open
+	// misdeclaration breaker was admitted as undeclared baseline.
+	EventGovernorQuarantine
+	// EventGovernorRestore: a clean half-open probe closed the breaker.
+	EventGovernorRestore
+	// EventGovernorReserve: an aged waiter still did not fit and took a
+	// capacity reservation, blocking younger admissions this cascade.
+	EventGovernorReserve
 )
 
 func (k EventKind) String() string {
@@ -62,6 +80,16 @@ func (k EventKind) String() string {
 		return "reject"
 	case EventLateEnd:
 		return "late-end"
+	case EventGovernorDegrade:
+		return "gov-degrade"
+	case EventGovernorRecover:
+		return "gov-recover"
+	case EventGovernorQuarantine:
+		return "gov-quarantine"
+	case EventGovernorRestore:
+		return "gov-restore"
+	case EventGovernorReserve:
+		return "gov-reserve"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -81,8 +109,8 @@ type Event struct {
 	// Load is the LLC load *after* the decision took effect.
 	Load pp.Bytes
 	// Wait is how long the period sat on the waitlist before this
-	// decision; nonzero only on EventWake and EventFallback (and only
-	// with a bound Clock).
+	// decision; nonzero only on EventWake, EventFallback, and
+	// EventGovernorReserve (and only with a bound Clock).
 	Wait sim.Duration
 }
 
@@ -202,7 +230,7 @@ func (s *Scheduler) emit(kind EventKind, per *period, key periodKey, d pp.Demand
 	}
 	if per != nil {
 		e.ID = per.id
-		if (kind == EventWake || kind == EventFallback) && s.clock != nil {
+		if (kind == EventWake || kind == EventFallback || kind == EventGovernorReserve) && s.clock != nil {
 			e.Wait = at.DurationSince(per.enqueuedAt)
 		}
 	}

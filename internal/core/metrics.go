@@ -27,9 +27,9 @@ import (
 // Metric names exported by the scheduler.
 const (
 	// Histograms, sampled on the decision path (SetMetrics).
-	MetricWaitSeconds    = "rda_wait_seconds"          // waitlist time per admission (0 for immediate admits)
-	MetricPeriodSeconds  = "rda_period_seconds"        // admitted lifetime per ended/reclaimed period
-	MetricOccupancyBytes = "rda_llc_occupancy_bytes"   // LLC load after each decision
+	MetricWaitSeconds    = "rda_wait_seconds"           // waitlist time per admission (0 for immediate admits)
+	MetricPeriodSeconds  = "rda_period_seconds"         // admitted lifetime per ended/reclaimed period
+	MetricOccupancyBytes = "rda_llc_occupancy_bytes"    // LLC load after each decision
 	MetricWaitlistDepth  = "rda_waitlist_depth_periods" // waitlist length after each decision
 
 	// Counters and gauges, published from Stats (PublishStats).
@@ -47,6 +47,20 @@ const (
 	MetricMaxWaitSeconds = "rda_max_wait_seconds"
 	MetricActivePeriods  = "rda_active_periods"
 	MetricLLCLoadBytes   = "rda_llc_load_bytes"
+
+	// Governor counters and gauges, published from GovernorStats when a
+	// governor is attached (PublishStats).
+	MetricGovernorLevel             = "rda_governor_level"                    // ladder position at publish time (0=normal 1=degraded 2=shedding)
+	MetricGovernorDegradations      = "rda_governor_degradations_total"       // ladder steps toward shedding
+	MetricGovernorRecoveries        = "rda_governor_recoveries_total"         // ladder steps back toward the base policy
+	MetricGovernorStrikes           = "rda_governor_strikes_total"            // misdeclarations recorded against closed breakers
+	MetricGovernorQuarantines       = "rda_governor_quarantines_total"        // breaker trips
+	MetricGovernorQuarantinedAdmits = "rda_governor_quarantined_admits_total" // periods admitted as undeclared baseline
+	MetricGovernorProbes            = "rda_governor_probes_total"             // half-open probes evaluated
+	MetricGovernorRestores          = "rda_governor_restores_total"           // breakers closed after a clean probe
+	MetricGovernorReservations      = "rda_governor_reservations_total"       // cascades blocked for an aged waiter
+	MetricGovernorAgedWakes         = "rda_governor_aged_wakes_total"         // aged waiters admitted through their reservation
+	MetricGovernorTightened         = "rda_governor_lease_tighten_total"      // outstanding leases re-armed to the tightened horizon
 )
 
 // schedMetrics holds pre-resolved instrument handles so the decision
@@ -111,4 +125,18 @@ func (s *Scheduler) PublishStats(reg *telemetry.Registry) {
 	reg.Gauge(MetricMaxWaitSeconds).Set(st.MaxWait.Seconds())
 	reg.Gauge(MetricActivePeriods).Set(float64(s.ActivePeriods()))
 	reg.Gauge(MetricLLCLoadBytes).Set(float64(s.rm.Usage(pp.ResourceLLC)))
+	if s.gov != nil {
+		gs := s.gov.stats
+		reg.Gauge(MetricGovernorLevel).Set(float64(s.gov.level))
+		reg.Counter(MetricGovernorDegradations).Add(gs.Degradations)
+		reg.Counter(MetricGovernorRecoveries).Add(gs.Recoveries)
+		reg.Counter(MetricGovernorStrikes).Add(gs.Strikes)
+		reg.Counter(MetricGovernorQuarantines).Add(gs.Quarantines)
+		reg.Counter(MetricGovernorQuarantinedAdmits).Add(gs.QuarantinedAdmits)
+		reg.Counter(MetricGovernorProbes).Add(gs.Probes)
+		reg.Counter(MetricGovernorRestores).Add(gs.Restores)
+		reg.Counter(MetricGovernorReservations).Add(gs.Reservations)
+		reg.Counter(MetricGovernorAgedWakes).Add(gs.AgedWakes)
+		reg.Counter(MetricGovernorTightened).Add(gs.Tightened)
+	}
 }

@@ -97,6 +97,13 @@ type Scheduler struct {
 	reclaimed map[periodKey]bool
 	inside    map[int]periodKey // thread ID → period it is executing in
 
+	// Adaptive admission governor (governor.go): nil when disabled.
+	// inWake/rescan serialize wake cascades so a governor transition (or
+	// any reentrant trigger) re-runs the scan instead of nesting it.
+	gov    *governor
+	inWake bool
+	rescan bool
+
 	// Decision stream (log.go) and metrics sampling (metrics.go).
 	clock Clock
 	sinks []EventSink
@@ -190,12 +197,13 @@ func (s *Scheduler) CheckDemand(d pp.Demand) error {
 }
 
 // TrySchedule is Algorithm 1: given the demand of a period about to
-// start, compute the space that would remain and ask the policy. The
-// load-zero safeguard admits a period whose demand alone exceeds the
-// policy limit when nothing else is running — without it such a period
-// would wait forever (a deviation documented in DESIGN.md; the paper's
-// workloads keep every working set under the LLC capacity, so it never
-// fires there).
+// start, compute the space that would remain and ask the policy (the
+// governor's effective policy when one is attached, the configured one
+// otherwise). The load-zero safeguard admits a period whose demand alone
+// exceeds the policy limit when nothing else is running — without it
+// such a period would wait forever (a deviation documented in DESIGN.md;
+// the paper's workloads keep every working set under the LLC capacity,
+// so it never fires there).
 func (s *Scheduler) TrySchedule(d pp.Demand) (runnable, safeguard bool) {
 	r := d.Resource
 	capacity := s.rm.Capacity(r)
@@ -204,7 +212,7 @@ func (s *Scheduler) TrySchedule(d pp.Demand) (runnable, safeguard bool) {
 	}
 	remaining := capacity - s.rm.Usage(r)
 	outcome := remaining - d.WorkingSet
-	if s.policy.Allows(outcome, capacity) {
+	if s.effectivePolicy().Allows(outcome, capacity) {
 		return true, false
 	}
 	if s.rm.Usage(r) == 0 {
@@ -269,6 +277,22 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 			s.inside[t.ID()] = key
 			s.stats.Rejected++
 			s.emit(EventReject, per, key, per.demands[0])
+			return true
+		}
+		if s.govAdmit(key.procID, ph) == govAdmitQuarantined {
+			// The misdeclaration breaker is open: the offender runs as
+			// undeclared baseline — admitted untracked, declarations
+			// ignored, no load charged — for the probation window. The
+			// lease still applies so the registry stays bounded.
+			per.untracked = true
+			per.admitted = true
+			if s.clock != nil {
+				per.admittedAt = s.clock()
+			}
+			per.refs = 1
+			s.inside[t.ID()] = key
+			s.emit(EventGovernorQuarantine, per, key, per.demands[0])
+			s.scheduleLease(per)
 			return true
 		}
 		if s.parked[key.procID] {
@@ -348,6 +372,7 @@ func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	}
 	s.stats.Ends++
 	s.emit(EventEnd, per, key, per.demands[0])
+	s.govObserve(EventEnd, 0)
 	s.wakeWaitlist()
 }
 
@@ -366,25 +391,58 @@ func (s *Scheduler) unregister(per *period) {
 // allows, waking their blocked threads. Admission (the load increment)
 // happens inside the scan so that each candidate is judged against the
 // load *including* the periods just admitted before it.
+//
+// With a governor attached, an aging pass runs first: waiters whose
+// demand-weighted priority crossed the threshold are probed before the
+// FIFO scan, and an aged waiter that still does not fit takes a capacity
+// reservation — the FIFO scan is skipped for this cascade so freed
+// capacity accumulates for it. The inWake/rescan pair serializes
+// cascades: a trigger arriving mid-scan (a governor degradation, a
+// reentrant release) re-runs the scan instead of nesting it.
 func (s *Scheduler) wakeWaitlist() {
-	woken := s.waitlist.WakeAll(func(per *period) bool {
-		runnable, safeguard := s.tryScheduleAll(per.demands)
-		if !runnable {
-			return false
-		}
-		if safeguard {
-			s.stats.Safegrds++
-		}
-		s.admit(per)
-		s.emit(EventWake, per, per.key, per.demands[0])
-		return true
-	})
-	for _, per := range woken {
-		delete(s.parked, per.key.procID)
-		s.cancelDeadline(per)
-		s.noteWait(per)
-		s.release(per)
+	if s.inWake {
+		s.rescan = true
+		return
 	}
+	s.inWake = true
+	defer func() { s.inWake = false }()
+	for {
+		s.rescan = false
+		woken, reserved := s.wakeAged(nil)
+		if !reserved {
+			woken = append(woken, s.waitlist.WakeAll(func(per *period) bool {
+				runnable, safeguard := s.tryScheduleAll(per.demands)
+				if !runnable {
+					return false
+				}
+				if safeguard {
+					s.stats.Safegrds++
+				}
+				s.admit(per)
+				s.emit(EventWake, per, per.key, per.demands[0])
+				return true
+			})...)
+		}
+		for _, per := range woken {
+			delete(s.parked, per.key.procID)
+			s.cancelDeadline(per)
+			s.noteWait(per)
+			s.govWake(per)
+			s.release(per)
+		}
+		if !s.rescan {
+			return
+		}
+	}
+}
+
+// govWake feeds one admission's wait time into the governor's pressure
+// window (no-op without a governor or clock).
+func (s *Scheduler) govWake(per *period) {
+	if s.gov == nil || s.clock == nil {
+		return
+	}
+	s.govObserve(EventWake, s.clock().DurationSince(per.enqueuedAt))
 }
 
 // release hands an admitted period's blocked threads back to the default
@@ -414,13 +472,23 @@ func (s *Scheduler) admit(per *period) {
 
 func (s *Scheduler) deny(per *period, t *machine.Thread) {
 	per.waiters = append(per.waiters, t)
-	per.ticket = s.waitlist.Enqueue(per)
-	if s.clock != nil {
-		per.enqueuedAt = s.clock()
+	if per.ticket != 0 {
+		// Woken (dequeued for an admission probe) and re-denied in the
+		// same release cascade: restore the original position under the
+		// original ticket. The wait clock (enqueuedAt) and the pending
+		// admission deadline keep running — re-denial must not reset how
+		// long the period has already waited.
+		s.waitlist.EnqueueAs(per, per.ticket)
+	} else {
+		per.ticket = s.waitlist.Enqueue(per)
+		if s.clock != nil {
+			per.enqueuedAt = s.clock()
+		}
+		s.scheduleDeadline(per)
 	}
-	s.scheduleDeadline(per)
 	s.stats.Denied++
 	s.emit(EventDeny, per, per.key, per.demands[0])
+	s.govObserve(EventDeny, 0)
 	if per.taskPool {
 		s.parked[per.key.procID] = true
 	}

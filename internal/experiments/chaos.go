@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"rdasched/internal/core"
 	"rdasched/internal/faults"
 	"rdasched/internal/perf"
 	"rdasched/internal/proc"
@@ -27,12 +28,15 @@ import (
 // ChaosRates is the swept per-candidate fault rate.
 var ChaosRates = []float64{0, 0.05, 0.15, 0.3}
 
-// ChaosRow is one (policy, fault rate) measurement.
+// ChaosRow is one (configuration, fault rate) measurement. Governed
+// marks the governor row; its Mean carries the governor transition
+// counts alongside the robustness counters.
 type ChaosRow struct {
-	Policy string
-	Rate   float64
-	Mean   perf.Metrics
-	StdDev perf.Metrics
+	Policy   string
+	Rate     float64
+	Governed bool
+	Mean     perf.Metrics
+	StdDev   perf.Metrics
 }
 
 // ChaosResult is the E4 dataset.
@@ -70,12 +74,31 @@ func chaosTimeouts(w proc.Workload) (lease, deadline sim.Duration) {
 	return sim.FromSeconds(ideal * 96), sim.FromSeconds(ideal * 64)
 }
 
-// RunChaos measures the BLAS-3 workload under every policy at every
-// fault rate. Rate 0 is the clean baseline each policy's slowdown is
-// computed against. All (policy, rate, repetition) replications run
-// concurrently on opt.Jobs workers; the fault pattern of each
-// replication derives from the experiment seed and its job index, so
-// the table is bit-identical for every worker count.
+// chaosConfig is one compared admission configuration in the E4 table.
+type chaosConfig struct {
+	Name     string
+	Policy   core.Policy
+	Governed bool
+}
+
+// chaosConfigs returns every static policy, then Strict under the
+// adaptive governor (sized like E5's), so the degradation table shows
+// the governor's transition counts next to the static policies'
+// failure modes.
+func chaosConfigs() []chaosConfig {
+	var out []chaosConfig
+	for _, p := range Policies() {
+		out = append(out, chaosConfig{p.Name, p.Policy, false})
+	}
+	return append(out, chaosConfig{"governor", core.StrictPolicy{}, true})
+}
+
+// RunChaos measures the BLAS-3 workload under every configuration at
+// every fault rate. Rate 0 is the clean baseline each configuration's
+// slowdown is computed against. All (config, rate, repetition)
+// replications run concurrently on opt.Jobs workers; the fault pattern
+// of each replication derives from the experiment seed and its job
+// index, so the table is bit-identical for every worker count.
 func RunChaos(opt Options) (*ChaosResult, error) {
 	opt = opt.normalized()
 	// The chaos harness always runs instrumented: its whole point is the
@@ -84,23 +107,29 @@ func RunChaos(opt Options) (*ChaosResult, error) {
 	opt.Telemetry = true
 	w := scaleWorkload(workloads.BLAS3(), opt.Scale)
 	lease, deadline := chaosTimeouts(w)
+	gcfg := overloadGovernor(deadline)
+	cfgs := chaosConfigs()
 	var cells []cell
-	for _, p := range Policies() {
+	for _, c := range cfgs {
 		for _, rate := range ChaosRates {
 			rc := perf.RunConfig{
 				Machine:       opt.Machine,
-				Policy:        p.Policy,
+				Policy:        c.Policy,
 				Repetitions:   opt.Repetitions,
 				JitterFrac:    opt.JitterFrac,
 				Lease:         lease,
 				AdmitDeadline: deadline,
+			}
+			if c.Governed {
+				g := gcfg
+				rc.Governor = &g
 			}
 			if rate > 0 {
 				plan := faults.Uniform(rate, opt.Machine.LLCCapacity)
 				rc.Faults = &plan
 			}
 			cells = append(cells, cell{
-				label: fmt.Sprintf("chaos %s rate %.2f", p.Name, rate),
+				label: fmt.Sprintf("chaos %s rate %.2f", c.Name, rate),
 				w:     w,
 				rc:    rc,
 			})
@@ -112,10 +141,10 @@ func RunChaos(opt Options) (*ChaosResult, error) {
 	}
 	res := &ChaosResult{Workload: w.Name, Telemetry: telemetry.NewRegistry()}
 	i := 0
-	for _, p := range Policies() {
+	for _, c := range cfgs {
 		for _, rate := range ChaosRates {
-			res.Rows = append(res.Rows, ChaosRow{Policy: p.Name, Rate: rate,
-				Mean: ms[i].Mean, StdDev: ms[i].StdDev})
+			res.Rows = append(res.Rows, ChaosRow{Policy: c.Name, Rate: rate,
+				Governed: c.Governed, Mean: ms[i].Mean, StdDev: ms[i].StdDev})
 			res.Telemetry.Merge(ms[i].Mean.Telemetry)
 			i++
 		}
@@ -128,7 +157,7 @@ func (r *ChaosResult) Table() *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("E4: graceful degradation under injected faults (%s)", r.Workload),
 		"policy", "fault rate", "elapsed s", "slowdown", "GFLOPS", "busy cores",
-		"reclaimed", "fallbacks", "rejected", "max wait s")
+		"reclaimed", "fallbacks", "rejected", "max wait s", "gov events")
 	baseline := map[string]float64{}
 	for _, row := range r.Rows {
 		if row.Rate == 0 {
@@ -140,6 +169,11 @@ func (r *ChaosResult) Table() *report.Table {
 		if b := baseline[row.Policy]; b > 0 {
 			slowdown = fmt.Sprintf("%.2fx", row.Mean.ElapsedSec/b)
 		}
+		gov := "-"
+		if row.Governed {
+			gov = fmt.Sprintf("%.1f", row.Mean.GovernorDegradations+
+				row.Mean.GovernorQuarantines+row.Mean.GovernorReservations)
+		}
 		t.AddRow(row.Policy,
 			fmt.Sprintf("%.0f%%", row.Rate*100),
 			fmt.Sprintf("%.3f", row.Mean.ElapsedSec),
@@ -149,7 +183,8 @@ func (r *ChaosResult) Table() *report.Table {
 			fmt.Sprintf("%.1f", row.Mean.ReclaimedLeases),
 			fmt.Sprintf("%.1f", row.Mean.FallbackAdmissions),
 			fmt.Sprintf("%.1f", row.Mean.RejectedDemands),
-			fmt.Sprintf("%.4f", row.Mean.MaxWaitSec))
+			fmt.Sprintf("%.4f", row.Mean.MaxWaitSec),
+			gov)
 	}
 	return t
 }

@@ -235,3 +235,25 @@ func TestDeterminismWaitProfile(t *testing.T) {
 		return []string{res.Table().String(), b.String()}, nil
 	})
 }
+
+// TestDeterminismOverload covers the E5 harness: governor ladder steps,
+// tightened leases, quarantine trips, and aged reservations all ride
+// the virtual clock and the scheduler's own decision path, so the
+// overload table and its merged registry must be byte-identical for
+// every worker count.
+func TestDeterminismOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	assertIdenticalAcrossJobs(t, "overload", func(opt Options) ([]string, error) {
+		res, err := RunOverload(opt)
+		if err != nil {
+			return nil, err
+		}
+		var b bytes.Buffer
+		if err := res.Telemetry.WritePrometheus(&b); err != nil {
+			return nil, err
+		}
+		return []string{res.Table().String(), b.String()}, nil
+	})
+}

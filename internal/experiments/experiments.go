@@ -53,6 +53,12 @@ type Options struct {
 	// written in cell order with virtual-clock timestamps only, so a
 	// trace is bit-identical for every Jobs value.
 	TraceDir string
+	// Governor, when non-nil and enabled, attaches the adaptive
+	// admission governor to every scheduled cell (cells running the
+	// Linux default policy have no scheduler and are unaffected). The
+	// E5 overload sweep configures its own per-cell governors and
+	// ignores this option.
+	Governor *core.GovernorConfig
 }
 
 // Defaults returns the paper's measurement setup: Table 1 machine, four
@@ -119,6 +125,9 @@ func measure(cells []cell, opt Options) ([]measured, error) {
 		rc.Seed = runner.Seed(opt.Seed, uint64(i))
 		rc.Telemetry = rc.Telemetry || opt.Telemetry || opt.TraceDir != ""
 		rc.Trace = rc.Trace || opt.TraceDir != ""
+		if rc.Governor == nil && opt.Governor != nil && rc.Policy != nil {
+			rc.Governor = opt.Governor
+		}
 		m, err := perf.Sample(c.w, rc, 0)
 		if err != nil {
 			return perf.Metrics{}, fmt.Errorf("%s (rep %d): %w", c.label, jobRep[i], err)

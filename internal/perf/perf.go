@@ -50,6 +50,15 @@ type Metrics struct {
 	RejectedDemands    float64
 	MaxWaitSec         float64
 
+	// Governor counters (zero without RunConfig.Governor): policy ladder
+	// steps toward shedding and back, breaker trips, clean-probe
+	// restores, and aged-waiter capacity reservations.
+	GovernorDegradations float64
+	GovernorRecoveries   float64
+	GovernorQuarantines  float64
+	GovernorRestores     float64
+	GovernorReservations float64
+
 	// Telemetry is the run's metrics registry (RunConfig.Telemetry):
 	// the scheduler's counters plus wait-time, period-length,
 	// occupancy, and waitlist-depth histograms. On an aggregate it is
@@ -98,6 +107,11 @@ type RunConfig struct {
 	// degraded to stock-scheduler admission (0 disables; see
 	// core.SetAdmissionDeadline).
 	AdmitDeadline sim.Duration
+	// Governor, when non-nil and enabled, attaches the adaptive
+	// admission governor (overload-aware policy degradation,
+	// misdeclaration quarantine, waitlist aging) to each repetition's
+	// scheduler. Only meaningful with a non-nil Policy.
+	Governor *core.GovernorConfig
 
 	// Telemetry attaches a fresh metrics registry to each repetition's
 	// scheduler (Metrics.Telemetry). Only meaningful with a non-nil
@@ -193,6 +207,9 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		schd.SetTimer(m.Engine())
 		schd.SetLease(rc.Lease)
 		schd.SetAdmissionDeadline(rc.AdmitDeadline)
+		if rc.Governor != nil {
+			schd.EnableGovernor(*rc.Governor)
+		}
 		if rc.Telemetry {
 			reg = telemetry.NewRegistry()
 			schd.SetMetrics(reg)
@@ -210,12 +227,14 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		return Metrics{}, err
 	}
 	var rob core.Stats
+	var gov core.GovernorStats
 	if schd != nil {
 		// End-of-run reclamation: periods still registered lost their
 		// owners (leaked ends, crashed threads); return their load so the
 		// monitor reads zero and the counters include the residue.
 		schd.Quiesce()
 		rob = schd.Stats()
+		gov = schd.GovernorStats()
 		if reg != nil {
 			schd.PublishStats(reg)
 		}
@@ -248,6 +267,12 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		FallbackAdmissions: float64(rob.Fallbacks),
 		RejectedDemands:    float64(rob.Rejected),
 		MaxWaitSec:         rob.MaxWait.Seconds(),
+
+		GovernorDegradations: float64(gov.Degradations),
+		GovernorRecoveries:   float64(gov.Recoveries),
+		GovernorQuarantines:  float64(gov.Quarantines),
+		GovernorRestores:     float64(gov.Restores),
+		GovernorReservations: float64(gov.Reservations),
 	}, nil
 }
 
@@ -299,6 +324,8 @@ func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 			&m.SystemJ, &m.DRAMJ, &m.PackageJ, &m.GFLOPS, &m.GFLOPSPerWatt,
 			&m.ElapsedSec, &m.DRAMAccesses, &m.AvgBusyCores,
 			&m.ReclaimedLeases, &m.FallbackAdmissions, &m.RejectedDemands, &m.MaxWaitSec,
+			&m.GovernorDegradations, &m.GovernorRecoveries, &m.GovernorQuarantines,
+			&m.GovernorRestores, &m.GovernorReservations,
 		}
 	}
 	for rep, s := range samples {

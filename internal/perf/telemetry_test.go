@@ -10,6 +10,9 @@ import (
 
 	"rdasched/internal/core"
 	"rdasched/internal/machine"
+	"rdasched/internal/pp"
+	"rdasched/internal/proc"
+	"rdasched/internal/sim"
 	"rdasched/internal/telemetry/trace"
 )
 
@@ -149,6 +152,142 @@ func TestTraceGoldenAndJobsDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(serial, want) {
 		t.Errorf("exported trace drifted from %s (run with -update if intended)", path)
+	}
+}
+
+// governedWorkload is a three-process mix that forces every governor
+// mechanism the expositions must carry: a misdeclaring process (declares
+// 8 MB, touches 2 MB) whose first period strikes and trips the
+// one-strike breaker, a leaky occupant that grabs most of the LLC and
+// never calls pp_end, and a large victim whose stalled wait drives the
+// ladder to Degraded — which re-arms the occupant's lease to the
+// tightened horizon and reclaims it.
+func governedWorkload() proc.Workload {
+	base := proc.Phase{
+		Instr: 1e7, WSS: pp.MB(2), Reuse: pp.ReuseHigh,
+		AccessesPerInstr: 0.3, PrivateHitFrac: 0.8, FlopsPerInstr: 0.5,
+		Declared: true,
+	}
+	lie := base
+	lie.Name = "lie"
+	lie.DeclaredWSS = pp.MB(8)
+	leak := base
+	leak.Name = "leak"
+	leak.WSS = pp.MB(14)
+	leak.Instr = 1e6
+	leak.LeakEnd = true
+	vic := base
+	vic.Name = "vic"
+	vic.WSS = pp.MB(14)
+	vic.Instr = 3e7
+	return proc.Workload{Name: "governed", Procs: []proc.Spec{
+		{Name: "liar", Threads: 1, Program: proc.Program{lie, lie}},
+		{Name: "leaky", Threads: 1, Program: proc.Program{leak}},
+		{Name: "victim", Threads: 1, Program: proc.Program{vic}},
+	}}
+}
+
+func governedRC(jobs int) RunConfig {
+	cfg := core.DefaultGovernorConfig()
+	// Depth never trips; the stalled victim at the waitlist head does,
+	// after the liar's first period has ended (so its strike lands first)
+	// and the leaky occupant is already admitted (so the degrade entry
+	// has an outstanding lease to tighten).
+	cfg.DegradeDepth, cfg.ShedDepth = 1<<20, 1<<20
+	cfg.WaitHigh = 8 * sim.Millisecond
+	cfg.HotEvents = 0
+	cfg.Window = 24 * sim.Millisecond
+	cfg.DegradeHold = 4 * sim.Millisecond
+	cfg.RecoverHold = 8 * sim.Millisecond
+	cfg.LeaseTighten = 8
+	cfg.Strikes = 1
+	cfg.Probation = 10 * sim.Millisecond
+	cfg.AgeThreshold = 0
+	return RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+		Repetitions: 2, JitterFrac: 0.02, Seed: 7,
+		Lease:     48 * sim.Millisecond,
+		Governor:  &cfg,
+		Telemetry: true, Trace: true, Jobs: jobs,
+	}
+}
+
+// TestGovernorTelemetryExposition drives a governed run through every
+// exposition surface — the Metrics floats, the rda_governor_* counters
+// in the registry and its Prometheus rendering, the decision spans, and
+// the Chrome trace — and requires all of it byte-identical across -jobs.
+func TestGovernorTelemetryExposition(t *testing.T) {
+	mean, _, err := Run(governedWorkload(), governedRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.GovernorDegradations == 0 {
+		t.Error("governed run recorded no ladder degradations")
+	}
+	if mean.GovernorQuarantines == 0 {
+		t.Error("governed run recorded no breaker trips")
+	}
+	for _, name := range []string{
+		core.MetricGovernorDegradations,
+		core.MetricGovernorQuarantines,
+		core.MetricGovernorTightened,
+	} {
+		if v := mean.Telemetry.Counter(name).Value(); v == 0 {
+			t.Errorf("registry: %s = 0, want > 0", name)
+		}
+	}
+	var prom bytes.Buffer
+	if err := mean.Telemetry.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		core.MetricGovernorDegradations,
+		core.MetricGovernorQuarantines,
+		core.MetricGovernorTightened,
+	} {
+		if !bytes.Contains(prom.Bytes(), []byte(name)) {
+			t.Errorf("Prometheus exposition missing %s", name)
+		}
+	}
+	outcomes := map[string]bool{}
+	for _, sp := range mean.Spans {
+		outcomes[sp.Outcome] = true
+	}
+	var chrome bytes.Buffer
+	if err := trace.WriteChrome(&chrome, mean.Spans); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gov-degrade", "gov-quarantine"} {
+		if !outcomes[want] {
+			t.Errorf("no span with outcome %q (got %v)", want, outcomes)
+		}
+		if !bytes.Contains(chrome.Bytes(), []byte(want)) {
+			t.Errorf("Chrome trace missing %q", want)
+		}
+	}
+
+	// The governed repetition fan-out must stay bit-identical: same
+	// numeric aggregate, same exposition, same trace bytes at any Jobs.
+	par, _, err := Run(governedWorkload(), governedRC(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, mean), mustJSON(t, par)) {
+		t.Fatal("governed mean diverged across jobs")
+	}
+	var promPar bytes.Buffer
+	if err := par.Telemetry.WritePrometheus(&promPar); err != nil {
+		t.Fatal(err)
+	}
+	if prom.String() != promPar.String() {
+		t.Fatal("governed exposition diverged across jobs")
+	}
+	var chromePar bytes.Buffer
+	if err := trace.WriteChrome(&chromePar, par.Spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chrome.Bytes(), chromePar.Bytes()) {
+		t.Fatal("governed trace diverged across jobs")
 	}
 }
 

@@ -33,13 +33,13 @@ import (
 // deliberately distinct from the internal/core "rda_" family so a merged
 // registry keeps the two scheduler substrates side by side.
 const (
-	MetricWaitSeconds   = "qsim_wait_seconds"            // park time per strict-admission denial
-	MetricOccupancy     = "qsim_llc_occupancy_bytes"     // admitted load after each decision
-	MetricWaitlistDepth = "qsim_waitlist_depth_threads"  // parked threads after each decision
-	MetricCtxSwitches   = "qsim_context_switches_total"  // quantum switch-ins
-	MetricReloadLines   = "qsim_reload_lines_total"      // DRAM lines moved by switch-in reloads
-	MetricParked        = "qsim_threads_parked_total"    // strict-admission denials
-	MetricWoken         = "qsim_threads_woken_total"     // FIFO wakes after capacity release
+	MetricWaitSeconds   = "qsim_wait_seconds"           // park time per strict-admission denial
+	MetricOccupancy     = "qsim_llc_occupancy_bytes"    // admitted load after each decision
+	MetricWaitlistDepth = "qsim_waitlist_depth_threads" // parked threads after each decision
+	MetricCtxSwitches   = "qsim_context_switches_total" // quantum switch-ins
+	MetricReloadLines   = "qsim_reload_lines_total"     // DRAM lines moved by switch-in reloads
+	MetricParked        = "qsim_threads_parked_total"   // strict-admission denials
+	MetricWoken         = "qsim_threads_woken_total"    // FIFO wakes after capacity release
 )
 
 // Config parameterizes the discrete simulation. Machine supplies the

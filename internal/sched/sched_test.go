@@ -127,6 +127,118 @@ func TestDrain(t *testing.T) {
 	}
 }
 
+// Demand-aware aging: AgedFirst picks the highest-priority waiter at or
+// above the threshold, ties broken by the oldest ticket.
+func TestAgedFirstSelection(t *testing.T) {
+	var q WaitQueue[int]
+	prios := map[int]float64{1: 0.5, 2: 3.0, 3: 7.0, 4: 7.0}
+	prio := func(v int) float64 { return prios[v] }
+	t2 := q.Enqueue(1)
+	_ = t2
+	q.Enqueue(2)
+	t3 := q.Enqueue(3)
+	q.Enqueue(4)
+	v, ticket, ok := q.AgedFirst(1.0, prio)
+	if !ok || v != 3 || ticket != t3 {
+		t.Fatalf("aged first = %d (ticket %d, ok %v), want 3 at the earlier of the tied tickets", v, ticket, ok)
+	}
+	// Nothing aged: threshold above every priority.
+	if _, _, ok := q.AgedFirst(100, prio); ok {
+		t.Fatal("aged waiter found above every priority")
+	}
+}
+
+// Removing an aged waiter by its ticket behaves like any other removal:
+// the next AgedFirst scan settles on the runner-up deterministically.
+func TestAgedTicketRemove(t *testing.T) {
+	var q WaitQueue[int]
+	prio := func(v int) float64 { return float64(v) }
+	q.Enqueue(1)
+	t9 := q.Enqueue(9)
+	t5 := q.Enqueue(5)
+	if _, ticket, ok := q.AgedFirst(2, prio); !ok || ticket != t9 {
+		t.Fatalf("aged first ticket = %d, want %d", ticket, t9)
+	}
+	if !q.Remove(t9) {
+		t.Fatal("remove of aged ticket failed")
+	}
+	if v, ticket, ok := q.AgedFirst(2, prio); !ok || v != 5 || ticket != t5 {
+		t.Fatalf("after removal aged first = %d (ticket %d), want 5", v, ticket)
+	}
+}
+
+// Aging is stateless across empty→nonempty transitions: an empty queue
+// reports no aged waiter, and a waiter enqueued afterwards ages purely
+// from its own priority, with no residue from the drained generation.
+func TestAgedAcrossEmptyTransition(t *testing.T) {
+	var q WaitQueue[int]
+	prio := func(v int) float64 { return float64(v) }
+	if _, _, ok := q.AgedFirst(0, prio); ok {
+		t.Fatal("aged waiter on an empty queue")
+	}
+	q.Enqueue(8)
+	if v, _, ok := q.AgedFirst(2, prio); !ok || v != 8 {
+		t.Fatalf("aged first = %v after refill", v)
+	}
+	q.Drain()
+	if _, _, ok := q.AgedFirst(0, prio); ok {
+		t.Fatal("aged waiter survived a drain")
+	}
+	q.Enqueue(3)
+	if v, _, ok := q.AgedFirst(2, prio); !ok || v != 3 {
+		t.Fatalf("aged first = %v after empty→nonempty transition", v)
+	}
+}
+
+// At exactly equal priority the tie-break is the ticket (enqueue order),
+// making repeated scans deterministic.
+func TestAgedTieBreakDeterminism(t *testing.T) {
+	var q WaitQueue[string]
+	prio := func(string) float64 { return 4.0 }
+	tA := q.Enqueue("a")
+	q.Enqueue("b")
+	q.Enqueue("c")
+	for i := 0; i < 3; i++ {
+		if v, ticket, ok := q.AgedFirst(4.0, prio); !ok || v != "a" || ticket != tA {
+			t.Fatalf("scan %d: aged first = %q (ticket %d), want \"a\" every time", i, v, ticket)
+		}
+	}
+}
+
+// EnqueueAs restores a dequeued waiter to its original FIFO position.
+func TestEnqueueAsRestoresPosition(t *testing.T) {
+	var q WaitQueue[int]
+	q.Enqueue(1)
+	t2 := q.Enqueue(2)
+	q.Enqueue(3)
+	if !q.Remove(t2) {
+		t.Fatal("remove failed")
+	}
+	q.EnqueueAs(2, t2)
+	for want := 1; want <= 3; want++ {
+		if v, ok := q.Dequeue(); !ok || v != want {
+			t.Fatalf("dequeue = %v, want %d", v, want)
+		}
+	}
+}
+
+// EnqueueAs panics on tickets that were never issued or are still live.
+func TestEnqueueAsPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var q WaitQueue[int]
+	live := q.Enqueue(1)
+	expectPanic("unissued ticket", func() { q.EnqueueAs(9, live+7) })
+	expectPanic("live ticket", func() { q.EnqueueAs(9, live) })
+}
+
 // Property: enqueue/dequeue preserves FIFO order for arbitrary sequences.
 func TestWaitQueueFIFOProperty(t *testing.T) {
 	f := func(vals []int) bool {

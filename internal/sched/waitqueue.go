@@ -55,6 +55,60 @@ func (q *WaitQueue[T]) Dequeue() (T, bool) {
 	return v, true
 }
 
+// EnqueueAs re-inserts v under a previously issued ticket, restoring its
+// original FIFO position: entries stay ordered by ticket, so a waiter
+// that was dequeued for an admission probe and re-denied returns exactly
+// where it was — its age (and any aging priority derived from the
+// ticket's enqueue time) is preserved instead of reset. It panics on a
+// ticket that was never issued or is still enqueued, both of which
+// indicate a caller bug.
+func (q *WaitQueue[T]) EnqueueAs(v T, ticket uint64) {
+	if ticket == 0 || ticket > q.seq {
+		panic(fmt.Sprintf("sched: EnqueueAs with unissued ticket %d (last issued %d)", ticket, q.seq))
+	}
+	i := 0
+	for i < len(q.items) && q.items[i].seq < ticket {
+		i++
+	}
+	if i < len(q.items) && q.items[i].seq == ticket {
+		panic(fmt.Sprintf("sched: EnqueueAs with ticket %d still enqueued", ticket))
+	}
+	q.items = append(q.items, waiter[T]{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = waiter[T]{v: v, seq: ticket}
+}
+
+// AgedFirst returns (without removing) the waiter whose aging priority is
+// highest among those at or above threshold, with ties broken by lowest
+// ticket (oldest first) so the scan order is deterministic at equal
+// priority. prio is evaluated exactly once per waiter per call; it is the
+// caller's demand-aware aging function (typically wait-time × demand
+// weight against the current virtual clock). ok=false means no waiter has
+// aged yet — including on an empty queue, so aging needs no state across
+// empty→nonempty transitions: priority derives entirely from each
+// waiter's own enqueue bookkeeping.
+func (q *WaitQueue[T]) AgedFirst(threshold float64, prio func(T) float64) (v T, ticket uint64, ok bool) {
+	best := -1
+	var bestPrio float64
+	for i := range q.items {
+		p := prio(q.items[i].v)
+		if p < threshold {
+			continue
+		}
+		// Strictly greater wins; at equal priority the earlier entry
+		// (lower seq, and we scan in seq order) is kept.
+		if best == -1 || p > bestPrio {
+			best = i
+			bestPrio = p
+		}
+	}
+	if best == -1 {
+		var zero T
+		return zero, 0, false
+	}
+	return q.items[best].v, q.items[best].seq, true
+}
+
 // Remove deletes the entry with the given ticket; it reports whether the
 // ticket was found (false means it already woke or was removed).
 func (q *WaitQueue[T]) Remove(ticket uint64) bool {

@@ -50,6 +50,11 @@ func chromeEvents(spans []Span) []chromeEvent {
 	for _, sp := range spans {
 		pid := sp.Rep*1000 + sp.Proc
 		name := fmt.Sprintf("proc%d/phase%d", sp.Proc, sp.Phase)
+		if sp.Proc < 0 {
+			// Governor ladder transitions: period-less marks with the
+			// level in Phase; render them on their own track.
+			name = "governor"
+		}
 		if sp.Close == "instant" {
 			events = append(events, chromeEvent{
 				Name: name + " " + sp.Outcome, Cat: "mark", Ph: "i",

@@ -122,6 +122,22 @@ func (c *Collector) Record(e core.Event) {
 		c.mark(e, "reject")
 	case core.EventLateEnd:
 		c.mark(e, "late-end")
+	case core.EventGovernorQuarantine:
+		// The period runs untracked for the probation window; record the
+		// quarantine as its outcome (like a reject, the span stays open
+		// until its end).
+		if sp := c.open[e.ID]; sp != nil && sp.Outcome == "" {
+			sp.Admit = e.At
+			sp.Outcome = "gov-quarantine"
+			return
+		}
+		c.mark(e, "gov-quarantine")
+	case core.EventGovernorDegrade, core.EventGovernorRecover,
+		core.EventGovernorRestore, core.EventGovernorReserve:
+		// Governor transitions are instantaneous marks: ladder steps
+		// carry Proc -1 and the new level in Phase; restore/reserve
+		// carry the affected period's coordinates.
+		c.mark(e, e.Kind.String())
 	}
 }
 
