@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all test race fuzz vet bench experiments chaos govern examples cover clean
+.PHONY: all test race fuzz vet bench experiments chaos govern domains examples cover clean
 
 all: test
 
@@ -23,6 +23,7 @@ fuzz:
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDeterminism -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzChaosInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzGovernorInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDomainInvariants -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +38,10 @@ chaos:
 # E5: adaptive admission governor vs static policies under overload.
 govern:
 	$(GO) run ./cmd/experiments -experiment e5 -scale 0.2
+
+# E6: multi-domain demand-aware placement vs one global domain.
+domains:
+	$(GO) run ./cmd/experiments -experiment e6 -scale 0.2
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -76,6 +76,33 @@ type (
 // NewCompromise returns RDA:Compromise with the paper's factor (2).
 func NewCompromise() CompromisePolicy { return core.NewCompromise() }
 
+// Multi-domain scheduling: the LLC sharded into per-domain admission
+// monitors with demand-aware placement and cross-domain steal of aged
+// waiters. Select it with RunConfig.Domains, or wire a DomainSet in
+// place of a Scheduler on a hand-built stack.
+type (
+	// DomainSet is N per-domain schedulers behind one gate.
+	DomainSet = core.DomainSet
+	// DomainSetConfig sizes a DomainSet (domain count, steal age).
+	DomainSetConfig = core.DomainConfig
+	// DomainStats summarizes cross-domain activity (placements, steals,
+	// per-domain snapshots).
+	DomainStats = core.DomainStats
+	// DomainStat is one domain's end-of-run snapshot.
+	DomainStat = core.DomainStat
+)
+
+// DefaultDomainSetConfig returns the default configuration for n
+// domains (stealing enabled at core.DefaultStealAge).
+func DefaultDomainSetConfig(n int) DomainSetConfig { return core.DefaultDomainConfig(n) }
+
+// NewDomainSet partitions an LLC budget into cfg.Domains shards under
+// the shared policy; see NewScheduledMachine for the single-domain
+// wiring it generalizes.
+func NewDomainSet(policy Policy, llcCapacity Bytes, cfg DomainSetConfig) *DomainSet {
+	return core.NewDomainSet(policy, llcCapacity, cfg)
+}
+
 // Robustness layer: graceful degradation for misbehaving workloads.
 type (
 	// SchedStats are the scheduler's activity counters, including the

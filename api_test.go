@@ -150,6 +150,55 @@ func TestFacadeChaos(t *testing.T) {
 	}
 }
 
+// TestFacadeDomains exercises the multi-domain surface: a skewed mix
+// run at Domains=2 makes placement decisions that reach the public
+// metrics, and the standalone DomainSet constructor splits capacity.
+func TestFacadeDomains(t *testing.T) {
+	kernel := rdasched.Phase{
+		Name:             "kernel",
+		Instr:            1e7,
+		WSS:              rdasched.MB(6.3),
+		Reuse:            rdasched.ReuseHigh,
+		AccessesPerInstr: 0.3,
+		PrivateHitFrac:   0.85,
+		StreamFrac:       0.05,
+		FlopsPerInstr:    0.5,
+		Declared:         true,
+	}
+	var w rdasched.Workload
+	w.Name = "domains"
+	for i := 0; i < 6; i++ {
+		w.Procs = append(w.Procs, rdasched.Spec{
+			Name: "p", Threads: 1, Program: rdasched.Program{kernel},
+		})
+	}
+	mean, _, err := rdasched.Run(w, rdasched.RunConfig{
+		Machine: rdasched.DefaultMachine(),
+		Policy:  rdasched.StrictPolicy{},
+		Domains: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.DomainPlacements != 6 {
+		t.Fatalf("placements = %.0f, want 6 (one per declared period)", mean.DomainPlacements)
+	}
+
+	d := rdasched.NewDomainSet(rdasched.StrictPolicy{}, rdasched.MB(15),
+		rdasched.DefaultDomainSetConfig(3))
+	if d.NumDomains() != 3 {
+		t.Fatalf("NumDomains = %d, want 3", d.NumDomains())
+	}
+	ds := d.DomainStats()
+	var total rdasched.Bytes
+	for _, per := range ds.PerDomain {
+		total += per.Capacity
+	}
+	if total != rdasched.MB(15) {
+		t.Fatalf("per-domain capacities sum to %v, want the whole LLC", total)
+	}
+}
+
 func TestFacadeSentinels(t *testing.T) {
 	_, s := rdasched.NewScheduledMachine(rdasched.DefaultMachine(), rdasched.StrictPolicy{})
 	bad := rdasched.Demand{Resource: rdasched.ResourceLLC, WorkingSet: 0, Reuse: rdasched.ReuseLow}

@@ -168,6 +168,74 @@ func BenchmarkExperimentsParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkE6DomainSpeedup runs the multi-domain sweep and reports the
+// headline: the skewed workload's makespan speedup at two domains over
+// the single global domain.
+func BenchmarkE6DomainSpeedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDomains(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var one, two float64
+		for _, row := range res.Rows {
+			if row.Workload == "domain-skewed" {
+				switch row.Domains {
+				case 1:
+					one = row.Mean.ElapsedSec
+				case 2:
+					two = row.Mean.ElapsedSec
+				}
+			}
+		}
+		speedup = one / two
+	}
+	b.ReportMetric(speedup, "skewed-2dom-speedup")
+}
+
+// BenchmarkDomainPlacement measures the placer's hot path: a stream of
+// small declared periods fanned across four domains, reporting the
+// placement decisions made per wall-clock second of benchmarking.
+func BenchmarkDomainPlacement(b *testing.B) {
+	w := proc.ScaleInstr(workloads.StreamingMix(pp.MB(0.5)), 0.05)
+	rc := perf.RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+		Domains: 4,
+	}
+	var placements float64
+	for i := 0; i < b.N; i++ {
+		m, _, err := perf.Run(w, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		placements = m.DomainPlacements
+	}
+	b.ReportMetric(placements, "placements/run")
+}
+
+// BenchmarkDomainShardingOverhead contrasts the unsharded scheduler
+// (Domains=0, the seed hot path), the single-domain facade (Domains=1,
+// pure delegation — its ns/op reads the facade's overhead), and a
+// four-way split. The measured metrics are identical for 0 and 1 by the
+// differential suite; only the time differs.
+func BenchmarkDomainShardingOverhead(b *testing.B) {
+	w := proc.ScaleInstr(workloads.StreamingMix(pp.MB(0.5)), 0.1)
+	for _, n := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("domains=%d", n), func(b *testing.B) {
+			rc := perf.RunConfig{
+				Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+				Domains: n,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := perf.Run(w, rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (design choices from DESIGN.md §5) ---
 
 func ablationRun(b *testing.B, cfg machine.Config, policy core.Policy) perf.Metrics {

@@ -42,6 +42,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after the report")
 		jobs      = flag.Int("jobs", 1, "concurrent repetitions (output is identical for any value)")
 		governor  = flag.Bool("governor", false, "attach the adaptive admission governor (policy degradation, misdeclaration quarantine, waitlist aging)")
+		domains   = flag.Int("domains", 0, "shard the LLC into N admission domains with demand-aware placement and cross-domain steal (0 = unsharded)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,10 @@ func main() {
 		Telemetry:   *metrics || *tracePath != "",
 		Trace:       *tracePath != "",
 		Jobs:        *jobs,
+		Domains:     *domains,
+	}
+	if *domains >= 1 && pol == nil {
+		fatal(fmt.Errorf("-domains needs a scheduling policy (-policy strict or compromise)"))
 	}
 	if *governor {
 		if pol == nil {
@@ -193,6 +198,9 @@ func printMetrics(workload, policy string, m, sd perf.Metrics) {
 		t.AddRow("governor degrade/recover", fmt.Sprintf("%.1f / %.1f", m.GovernorDegradations, m.GovernorRecoveries), "")
 		t.AddRow("governor quarantine/restore", fmt.Sprintf("%.1f / %.1f", m.GovernorQuarantines, m.GovernorRestores), "")
 		t.AddRow("governor reservations", fmt.Sprintf("%.1f", m.GovernorReservations), "")
+	}
+	if m.DomainPlacements > 0 || m.DomainSteals > 0 {
+		t.AddRow("domain placements/steals", fmt.Sprintf("%.1f / %.1f", m.DomainPlacements, m.DomainSteals), "")
 	}
 	fmt.Print(t.String())
 }

@@ -58,6 +58,16 @@ const (
 	// EventGovernorReserve: an aged waiter still did not fit and took a
 	// capacity reservation, blocking younger admissions this cascade.
 	EventGovernorReserve
+
+	// Domain decisions (domain.go), emitted only by a DomainSet with two
+	// or more domains; Event.Domain carries the domain index.
+	//
+	// EventPlace: the demand-aware placer assigned a new period to a
+	// domain (emitted before the period's begin, so ID is 0).
+	EventPlace
+	// EventSteal: an aged waitlisted period was migrated cross-domain
+	// and admitted on the stealing domain.
+	EventSteal
 )
 
 func (k EventKind) String() string {
@@ -90,6 +100,10 @@ func (k EventKind) String() string {
 		return "gov-restore"
 	case EventGovernorReserve:
 		return "gov-reserve"
+	case EventPlace:
+		return "place"
+	case EventSteal:
+		return "steal"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -112,6 +126,9 @@ type Event struct {
 	// decision; nonzero only on EventWake, EventFallback, and
 	// EventGovernorReserve (and only with a bound Clock).
 	Wait sim.Duration
+	// Domain is the index of the LLC domain the decision happened on;
+	// always 0 outside a multi-domain DomainSet.
+	Domain int
 }
 
 func (e Event) String() string {
@@ -227,6 +244,7 @@ func (s *Scheduler) emit(kind EventKind, per *period, key periodKey, d pp.Demand
 	e := Event{
 		At: at, Kind: kind, Proc: key.procID, Phase: key.phaseIdx,
 		Demand: d, Load: s.rm.Usage(pp.ResourceLLC),
+		Domain: s.domainIdx,
 	}
 	if per != nil {
 		e.ID = per.id

@@ -61,6 +61,18 @@ const (
 	MetricGovernorReservations      = "rda_governor_reservations_total"       // cascades blocked for an aged waiter
 	MetricGovernorAgedWakes         = "rda_governor_aged_wakes_total"         // aged waiters admitted through their reservation
 	MetricGovernorTightened         = "rda_governor_lease_tighten_total"      // outstanding leases re-armed to the tightened horizon
+
+	// Domain counters and gauges, published by DomainSet.PublishStats
+	// when two or more domains are configured (a single-domain set
+	// publishes exactly what the unsharded scheduler does). The per-
+	// domain gauges carry a "_<index>" suffix — the registry uses flat
+	// Prometheus-style names, so the domain index is part of the name.
+	MetricDomainPlacements = "rda_domain_placements_total"   // periods assigned by the demand-aware placer
+	MetricDomainSteals     = "rda_domain_steals_total"       // aged waiters migrated cross-domain
+	MetricDomainLoadBytes  = "rda_domain_load_bytes"         // + "_<idx>": end-of-run LLC load per domain
+	MetricDomainPeakBytes  = "rda_domain_peak_bytes"         // + "_<idx>": peak LLC load per domain
+	MetricDomainWaitlist   = "rda_domain_waitlist_periods"   // + "_<idx>": end-of-run waitlist depth per domain
+	MetricDomainAdmitted   = "rda_domain_admitted_total"     // + "_<idx>": periods admitted per domain
 )
 
 // schedMetrics holds pre-resolved instrument handles so the decision
@@ -110,7 +122,16 @@ func (s *Scheduler) observeMetrics(per *period, e Event) {
 // each call adds the full counter values, so publishing the same
 // scheduler into the same registry twice double-counts.
 func (s *Scheduler) PublishStats(reg *telemetry.Registry) {
-	st := s.stats
+	publishSchedStats(reg, s.stats, s.ActivePeriods(), s.rm.Usage(pp.ResourceLLC))
+	if s.gov != nil {
+		publishGovernorStats(reg, s.gov.stats, s.gov.level)
+	}
+}
+
+// publishSchedStats writes the Stats counters and end-state gauges; it
+// is shared by the unsharded scheduler and the DomainSet aggregate so
+// both publish the same metric family the same way.
+func publishSchedStats(reg *telemetry.Registry, st Stats, active int, load pp.Bytes) {
 	reg.Counter(MetricBegins).Add(st.Begins)
 	reg.Counter(MetricEnds).Add(st.Ends)
 	reg.Counter(MetricAdmitted).Add(st.Admitted)
@@ -123,20 +144,22 @@ func (s *Scheduler) PublishStats(reg *telemetry.Registry) {
 	reg.Counter(MetricRejected).Add(st.Rejected)
 	reg.Counter(MetricLateEnds).Add(st.LateEnds)
 	reg.Gauge(MetricMaxWaitSeconds).Set(st.MaxWait.Seconds())
-	reg.Gauge(MetricActivePeriods).Set(float64(s.ActivePeriods()))
-	reg.Gauge(MetricLLCLoadBytes).Set(float64(s.rm.Usage(pp.ResourceLLC)))
-	if s.gov != nil {
-		gs := s.gov.stats
-		reg.Gauge(MetricGovernorLevel).Set(float64(s.gov.level))
-		reg.Counter(MetricGovernorDegradations).Add(gs.Degradations)
-		reg.Counter(MetricGovernorRecoveries).Add(gs.Recoveries)
-		reg.Counter(MetricGovernorStrikes).Add(gs.Strikes)
-		reg.Counter(MetricGovernorQuarantines).Add(gs.Quarantines)
-		reg.Counter(MetricGovernorQuarantinedAdmits).Add(gs.QuarantinedAdmits)
-		reg.Counter(MetricGovernorProbes).Add(gs.Probes)
-		reg.Counter(MetricGovernorRestores).Add(gs.Restores)
-		reg.Counter(MetricGovernorReservations).Add(gs.Reservations)
-		reg.Counter(MetricGovernorAgedWakes).Add(gs.AgedWakes)
-		reg.Counter(MetricGovernorTightened).Add(gs.Tightened)
-	}
+	reg.Gauge(MetricActivePeriods).Set(float64(active))
+	reg.Gauge(MetricLLCLoadBytes).Set(float64(load))
+}
+
+// publishGovernorStats writes the governor counter family; level is the
+// ladder position gauge (the deepest shard's level for a DomainSet).
+func publishGovernorStats(reg *telemetry.Registry, gs GovernorStats, level GovernorLevel) {
+	reg.Gauge(MetricGovernorLevel).Set(float64(level))
+	reg.Counter(MetricGovernorDegradations).Add(gs.Degradations)
+	reg.Counter(MetricGovernorRecoveries).Add(gs.Recoveries)
+	reg.Counter(MetricGovernorStrikes).Add(gs.Strikes)
+	reg.Counter(MetricGovernorQuarantines).Add(gs.Quarantines)
+	reg.Counter(MetricGovernorQuarantinedAdmits).Add(gs.QuarantinedAdmits)
+	reg.Counter(MetricGovernorProbes).Add(gs.Probes)
+	reg.Counter(MetricGovernorRestores).Add(gs.Restores)
+	reg.Counter(MetricGovernorReservations).Add(gs.Reservations)
+	reg.Counter(MetricGovernorAgedWakes).Add(gs.AgedWakes)
+	reg.Counter(MetricGovernorTightened).Add(gs.Tightened)
 }

@@ -109,6 +109,17 @@ type Scheduler struct {
 	sinks []EventSink
 	ring  *EventRing
 	met   *schedMetrics
+
+	// Sharding hooks (domain.go). A DomainSet runs several shard
+	// schedulers behind one gate: idSrc, when set, allocates admission
+	// IDs from a set-wide counter so IDs stay unique across shards
+	// (shared sinks key spans by ID); domainIdx stamps this shard's
+	// index into its events; postWake runs after the outermost wake
+	// cascade finishes — the set's cross-domain steal scan. All three
+	// are zero on a standalone scheduler, leaving the seed path intact.
+	idSrc     func() pp.ID
+	domainIdx int
+	postWake  func()
 }
 
 // New builds a scheduler over the given policy and LLC capacity. The
@@ -258,8 +269,7 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 			demands:  ph.Demands(),
 			taskPool: t.Process().Spec().TaskPool,
 		}
-		s.nextID++
-		per.id = s.nextID
+		per.id = s.allocID()
 		s.active[key] = per
 		s.byID[per.id] = per
 		s.stats.Begins++
@@ -321,6 +331,16 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 	}
 	per.waiters = append(per.waiters, t)
 	return false
+}
+
+// allocID issues the next admission ID: from the set-wide counter when
+// this scheduler is a DomainSet shard, from the private one otherwise.
+func (s *Scheduler) allocID() pp.ID {
+	if s.idSrc != nil {
+		return s.idSrc()
+	}
+	s.nextID++
+	return s.nextID
 }
 
 // checkDemands returns the first validation error among a period's
@@ -408,31 +428,46 @@ func (s *Scheduler) wakeWaitlist() {
 	defer func() { s.inWake = false }()
 	for {
 		s.rescan = false
-		woken, reserved := s.wakeAged(nil)
-		if !reserved {
-			woken = append(woken, s.waitlist.WakeAll(func(per *period) bool {
-				runnable, safeguard := s.tryScheduleAll(per.demands)
-				if !runnable {
-					return false
-				}
-				if safeguard {
-					s.stats.Safegrds++
-				}
-				s.admit(per)
-				s.emit(EventWake, per, per.key, per.demands[0])
-				return true
-			})...)
-		}
-		for _, per := range woken {
-			delete(s.parked, per.key.procID)
-			s.cancelDeadline(per)
-			s.noteWait(per)
-			s.govWake(per)
-			s.release(per)
-		}
+		s.scanWaitlist()
 		if !s.rescan {
-			return
+			break
 		}
+	}
+	if s.postWake != nil {
+		// The cascade is complete and this shard's scan state is clear;
+		// let the domain set run its cross-domain steal pass. The hook
+		// guards its own reentry, so a steal that triggers further wakes
+		// re-runs this cascade rather than nesting the scan.
+		s.inWake = false
+		s.postWake()
+	}
+}
+
+// scanWaitlist is one pass of the wake cascade: the aging probe, then
+// (unless an aged waiter took a reservation) the FIFO admission scan,
+// then the release of everything admitted this pass.
+func (s *Scheduler) scanWaitlist() {
+	woken, reserved := s.wakeAged(nil)
+	if !reserved {
+		woken = append(woken, s.waitlist.WakeAll(func(per *period) bool {
+			runnable, safeguard := s.tryScheduleAll(per.demands)
+			if !runnable {
+				return false
+			}
+			if safeguard {
+				s.stats.Safegrds++
+			}
+			s.admit(per)
+			s.emit(EventWake, per, per.key, per.demands[0])
+			return true
+		})...)
+	}
+	for _, per := range woken {
+		delete(s.parked, per.key.procID)
+		s.cancelDeadline(per)
+		s.noteWait(per)
+		s.govWake(per)
+		s.release(per)
 	}
 }
 

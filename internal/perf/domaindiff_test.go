@@ -1,0 +1,147 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rdasched/internal/core"
+	"rdasched/internal/faults"
+	"rdasched/internal/machine"
+	"rdasched/internal/sim"
+	"rdasched/internal/telemetry/trace"
+)
+
+// The single-domain contract: Domains=1 builds a core.DomainSet that is
+// pure delegation — no placer, no steal scan, no domain events or
+// metrics — so a run through it is byte-identical to the unsharded
+// scheduler (Domains=0): same Metrics JSON, same telemetry expositions,
+// same Chrome trace bytes. This differential suite pins that across the
+// feature matrix the experiments exercise: plain admission (E1-style),
+// faults + lease + admission deadline (E4-style), and the governor
+// (E5-style).
+
+// domainDiffConfigs enumerates the compared feature mixes. Every config
+// runs instrumented with two jittered repetitions so the comparison
+// covers aggregation, not just a single run.
+func domainDiffConfigs() []struct {
+	name string
+	rc   RunConfig
+} {
+	base := func() RunConfig {
+		return RunConfig{
+			Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+			Repetitions: 2, JitterFrac: 0.02, Seed: 11,
+			Telemetry: true, Trace: true,
+		}
+	}
+	plain := base()
+
+	chaos := base()
+	plan := faults.Uniform(0.3, chaos.Machine.LLCCapacity)
+	plan.BurstWaves = 2
+	chaos.Faults = &plan
+	chaos.Lease = sim.FromSeconds(0.004)
+	chaos.AdmitDeadline = sim.FromSeconds(0.003)
+
+	governed := base()
+	gcfg := core.DefaultGovernorConfig()
+	gcfg.Window = sim.FromSeconds(0.001)
+	gcfg.DegradeHold = sim.FromSeconds(0.0005)
+	gcfg.RecoverHold = sim.FromSeconds(0.0005)
+	governed.Governor = &gcfg
+	governed.Lease = sim.FromSeconds(0.004)
+
+	compromise := base()
+	compromise.Policy = core.NewCompromise()
+	compromise.Reserve = chaos.Machine.LLCCapacity / 8
+
+	return []struct {
+		name string
+		rc   RunConfig
+	}{
+		{"plain-strict", plain},
+		{"faults-lease-deadline", chaos},
+		{"governor", governed},
+		{"compromise-reserve", compromise},
+	}
+}
+
+// domainDiffArtifacts runs one config and renders every comparable
+// artifact to bytes: the Metrics JSON (mean and stddev), the merged
+// registry's JSON and Prometheus expositions, and the Chrome trace.
+func domainDiffArtifacts(t *testing.T, rc RunConfig) map[string][]byte {
+	t.Helper()
+	mean, sd, err := Run(tinyWorkload(10, true), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]byte{}
+	for name, m := range map[string]Metrics{"mean": mean, "stddev": sd} {
+		b, err := json.MarshalIndent(m, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name+".json"] = b
+	}
+	if mean.Telemetry == nil {
+		t.Fatal("no registry collected")
+	}
+	var tj, tp, tr bytes.Buffer
+	if err := mean.Telemetry.WriteJSON(&tj); err != nil {
+		t.Fatal(err)
+	}
+	if err := mean.Telemetry.WritePrometheus(&tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(&tr, mean.Spans); err != nil {
+		t.Fatal(err)
+	}
+	out["telemetry.json"] = tj.Bytes()
+	out["telemetry.prom"] = tp.Bytes()
+	out["trace.json"] = tr.Bytes()
+	return out
+}
+
+func TestSingleDomainByteIdentical(t *testing.T) {
+	for _, cfg := range domainDiffConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			unsharded := cfg.rc
+			unsharded.Domains = 0
+			single := cfg.rc
+			single.Domains = 1
+			want := domainDiffArtifacts(t, unsharded)
+			got := domainDiffArtifacts(t, single)
+			for name, w := range want {
+				g, ok := got[name]
+				if !ok {
+					t.Fatalf("%s missing from Domains=1 artifacts", name)
+				}
+				if !bytes.Equal(g, w) {
+					t.Errorf("%s differs between Domains=0 and Domains=1:\n--- Domains=0 ---\n%s\n--- Domains=1 ---\n%s",
+						name, w, g)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiDomainDiverges is the differential suite's sanity check: at
+// Domains=2 the same config must NOT be a silent no-op — the placer has
+// to make decisions (placements > 0) even if the schedule happens to
+// coincide.
+func TestMultiDomainDiverges(t *testing.T) {
+	rc := domainDiffConfigs()[0].rc
+	rc.Domains = 2
+	mean, _, err := Run(tinyWorkload(10, true), rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 procs × 1 declared period each, averaged over the repetitions.
+	if mean.DomainPlacements != 10 {
+		t.Fatalf("placements = %.0f, want 10 (one per declared period)", mean.DomainPlacements)
+	}
+	if mean.Telemetry.Counter(core.MetricDomainPlacements).Value() == 0 {
+		t.Fatal("rda_domain_placements_total not published at Domains=2")
+	}
+}

@@ -59,6 +59,13 @@ type Metrics struct {
 	GovernorRestores     float64
 	GovernorReservations float64
 
+	// Domain counters (zero unless RunConfig.Domains >= 2): periods
+	// assigned by the demand-aware placer and aged waiters migrated
+	// cross-domain. A single-domain set makes no placement decisions,
+	// so Domains=1 reports zeros exactly like the unsharded scheduler.
+	DomainPlacements float64
+	DomainSteals     float64
+
 	// Telemetry is the run's metrics registry (RunConfig.Telemetry):
 	// the scheduler's counters plus wait-time, period-length,
 	// occupancy, and waitlist-depth histograms. On an aggregate it is
@@ -112,6 +119,17 @@ type RunConfig struct {
 	// misdeclaration quarantine, waitlist aging) to each repetition's
 	// scheduler. Only meaningful with a non-nil Policy.
 	Governor *core.GovernorConfig
+
+	// Domains shards the scheduler into N per-domain admission monitors
+	// with demand-aware placement and cross-domain steal of aged
+	// waiters (core.DomainSet). 0 runs the unsharded scheduler; 1 runs
+	// a single-domain set, bit-identical to 0 (the differential suite
+	// pins this). Only meaningful with a non-nil Policy.
+	Domains int
+	// StealAge tunes the cross-domain steal age bar (0 selects
+	// core.DefaultStealAge, negative disables stealing). Only
+	// meaningful with Domains >= 2.
+	StealAge sim.Duration
 
 	// Telemetry attaches a fresh metrics registry to each repetition's
 	// scheduler (Metrics.Telemetry). Only meaningful with a non-nil
@@ -180,23 +198,53 @@ func Sample(w proc.Workload, rc RunConfig, rep int) (Metrics, error) {
 	return runOnce(w, rc, uint64(rep))
 }
 
+// admission is the scheduler surface runOnce drives; *core.Scheduler
+// and *core.DomainSet both satisfy it, so the measurement path is the
+// same whether the run is sharded or not.
+type admission interface {
+	machine.Gate
+	SetWaker(core.Waker)
+	SetClock(core.Clock)
+	SetTimer(core.Timer)
+	SetLease(sim.Duration)
+	SetAdmissionDeadline(sim.Duration)
+	EnableGovernor(core.GovernorConfig)
+	SetMetrics(*telemetry.Registry)
+	AddSink(core.EventSink)
+	Quiesce() int
+	Stats() core.Stats
+	GovernorStats() core.GovernorStats
+	PublishStats(*telemetry.Registry)
+}
+
 func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	cfg := rc.Machine
 	cfg.Seed = rc.Seed*1000 + rep
 
 	var gate machine.Gate
-	var schd *core.Scheduler
+	var schd admission
+	var dset *core.DomainSet
 	if rc.Policy == nil {
 		w = Undeclare(w)
+	} else if rc.Domains >= 1 {
+		dset = core.NewDomainSet(rc.Policy, cfg.LLCCapacity,
+			core.DomainConfig{Domains: rc.Domains, StealAge: rc.StealAge})
+		// Track memory bandwidth as a second resource, split across the
+		// domains like the LLC budget.
+		dset.SetResourceCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
+		if rc.Reserve > 0 {
+			dset.SetReserve(rc.Reserve)
+		}
+		schd, gate = dset, dset
 	} else {
-		schd = core.New(rc.Policy, cfg.LLCCapacity)
+		s := core.New(rc.Policy, cfg.LLCCapacity)
 		// Track memory bandwidth as a second resource: periods declaring
 		// BWDemand are gated against the machine's DRAM roofline.
-		schd.Resources().SetCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
+		s.Resources().SetCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
 		if rc.Reserve > 0 {
-			schd.SetReserve(rc.Reserve)
+			s.SetReserve(rc.Reserve)
 		}
-		gate = schd
+		schd, gate = s, s
 	}
 	m := machine.New(cfg, gate)
 	var reg *telemetry.Registry
@@ -248,6 +296,10 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	if col != nil {
 		spans = col.Spans()
 	}
+	var dst core.DomainStats
+	if dset != nil {
+		dst = dset.DomainStats()
+	}
 	return Metrics{
 		Telemetry: reg,
 		Spans:     spans,
@@ -273,6 +325,9 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		GovernorQuarantines:  float64(gov.Quarantines),
 		GovernorRestores:     float64(gov.Restores),
 		GovernorReservations: float64(gov.Reservations),
+
+		DomainPlacements: float64(dst.Placements),
+		DomainSteals:     float64(dst.Steals),
 	}, nil
 }
 
@@ -326,6 +381,7 @@ func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 			&m.ReclaimedLeases, &m.FallbackAdmissions, &m.RejectedDemands, &m.MaxWaitSec,
 			&m.GovernorDegradations, &m.GovernorRecoveries, &m.GovernorQuarantines,
 			&m.GovernorRestores, &m.GovernorReservations,
+			&m.DomainPlacements, &m.DomainSteals,
 		}
 	}
 	for rep, s := range samples {

@@ -56,10 +56,16 @@ func chromeEvents(spans []Span) []chromeEvent {
 			name = "governor"
 		}
 		if sp.Close == "instant" {
+			args := map[string]any{"demand_bytes": int64(sp.Demand)}
+			if sp.Outcome == "place" || sp.Outcome == "steal" {
+				// Domain decisions carry their target; other marks keep
+				// their historical shape byte for byte.
+				args["domain"] = sp.Domain
+			}
 			events = append(events, chromeEvent{
 				Name: name + " " + sp.Outcome, Cat: "mark", Ph: "i",
 				Ts: usec(sp.Begin), Pid: pid, Tid: sp.Phase, S: "t",
-				Args: map[string]any{"demand_bytes": int64(sp.Demand)},
+				Args: args,
 			})
 			continue
 		}

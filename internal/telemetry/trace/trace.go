@@ -49,6 +49,11 @@ type Span struct {
 	Demand pp.Bytes
 	// Load is the LLC load after the closing decision.
 	Load pp.Bytes
+	// Domain is the LLC domain the period ran on (the stealing domain
+	// after a migration); always 0 outside multi-domain runs. Placement
+	// and steal decisions surface as instant marks ("place"/"steal")
+	// carrying the chosen domain.
+	Domain int
 }
 
 // Wait is the time the period spent on the waitlist before running
@@ -92,11 +97,13 @@ func (c *Collector) Record(e core.Event) {
 		c.open[e.ID] = &Span{
 			ID: e.ID, Proc: e.Proc, Phase: e.Phase,
 			Begin: e.At, Demand: e.Demand.WorkingSet,
+			Domain: e.Domain,
 		}
 	case core.EventAdmit, core.EventWake, core.EventFallback:
 		if sp := c.open[e.ID]; sp != nil {
 			sp.Admit = e.At
 			sp.Outcome = e.Kind.String()
+			sp.Domain = e.Domain
 		}
 	case core.EventDeny:
 		// The wait is implicit: Begin marks the enqueue, the eventual
@@ -138,6 +145,16 @@ func (c *Collector) Record(e core.Event) {
 		// carry Proc -1 and the new level in Phase; restore/reserve
 		// carry the affected period's coordinates.
 		c.mark(e, e.Kind.String())
+	case core.EventPlace, core.EventSteal:
+		// Domain decisions are instant marks carrying the chosen domain;
+		// a steal also re-homes the open span so its period slice lands
+		// on the domain it actually ran on.
+		if e.Kind == core.EventSteal {
+			if sp := c.open[e.ID]; sp != nil {
+				sp.Domain = e.Domain
+			}
+		}
+		c.mark(e, e.Kind.String())
 	}
 }
 
@@ -147,6 +164,7 @@ func (c *Collector) mark(e core.Event, outcome string) {
 		Begin: e.At, Admit: e.At, End: e.At,
 		Outcome: outcome, Close: "instant",
 		Demand: e.Demand.WorkingSet, Load: e.Load,
+		Domain: e.Domain,
 	})
 }
 
