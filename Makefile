@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all test race fuzz vet bench experiments chaos govern domains examples cover clean
+.PHONY: all test race fuzz vet bench experiments chaos govern domains heal examples cover clean
 
 all: test
 
@@ -24,6 +24,7 @@ fuzz:
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzChaosInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzGovernorInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDomainInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzRecoveryInvariants -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -42,6 +43,10 @@ govern:
 # E6: multi-domain demand-aware placement vs one global domain.
 domains:
 	$(GO) run ./cmd/experiments -experiment e6 -scale 0.2
+
+# E7: domain failure injection — governed evacuation vs stall/drop.
+heal:
+	$(GO) run ./cmd/experiments -experiment e7 -scale 0.2
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -90,7 +90,36 @@ type (
 	DomainStats = core.DomainStats
 	// DomainStat is one domain's end-of-run snapshot.
 	DomainStat = core.DomainStat
+	// RecoveryConfig sizes the domain fault/recovery subsystem
+	// (DomainSet.EnableRecovery, RunConfig.Recovery).
+	RecoveryConfig = core.RecoveryConfig
+	// RecoveryMode selects what a DomainSet does with a crashed shard's
+	// periods (evacuate / stall / drop).
+	RecoveryMode = core.RecoveryMode
+	// RecoveryStats counts recovery activity (evacuations, retries,
+	// audit repairs, reintegrations).
+	RecoveryStats = core.RecoveryStats
+	// DomainFault is one scheduled domain-level fault (capacity loss,
+	// crash, ledger corruption) in a FaultPlan.
+	DomainFault = faults.DomainFault
+	// DomainFaultKind classifies a DomainFault.
+	DomainFaultKind = faults.DomainFaultKind
 )
+
+// Re-exported recovery modes and domain fault kinds.
+const (
+	RecoverEvacuate = core.RecoverEvacuate
+	RecoverStall    = core.RecoverStall
+	RecoverDrop     = core.RecoverDrop
+
+	DomainCapacityLoss = faults.DomainCapacityLoss
+	DomainCrash        = faults.DomainCrash
+	DomainLedgerSkew   = faults.DomainLedgerSkew
+)
+
+// DefaultRecoveryConfig returns the evacuating recovery configuration
+// (bounded backoff retries, periodic ledger audit).
+func DefaultRecoveryConfig() RecoveryConfig { return core.DefaultRecoveryConfig() }
 
 // DefaultDomainSetConfig returns the default configuration for n
 // domains (stealing enabled at core.DefaultStealAge).
@@ -98,8 +127,9 @@ func DefaultDomainSetConfig(n int) DomainSetConfig { return core.DefaultDomainCo
 
 // NewDomainSet partitions an LLC budget into cfg.Domains shards under
 // the shared policy; see NewScheduledMachine for the single-domain
-// wiring it generalizes.
-func NewDomainSet(policy Policy, llcCapacity Bytes, cfg DomainSetConfig) *DomainSet {
+// wiring it generalizes. An invalid configuration returns
+// ErrInvalidDomainConfig.
+func NewDomainSet(policy Policy, llcCapacity Bytes, cfg DomainSetConfig) (*DomainSet, error) {
 	return core.NewDomainSet(policy, llcCapacity, cfg)
 }
 
@@ -160,6 +190,13 @@ var (
 	ErrOversizedDemand = core.ErrOversizedDemand
 	// ErrLoadUnderflow: a release without a matching registration.
 	ErrLoadUnderflow = core.ErrLoadUnderflow
+	// ErrInvalidDomainConfig: a DomainSetConfig NewDomainSet refuses.
+	ErrInvalidDomainConfig = core.ErrInvalidDomainConfig
+	// ErrInvalidDomain: a fault-injection or recovery call against a
+	// domain index outside the set, or without EnableRecovery.
+	ErrInvalidDomain = core.ErrInvalidDomain
+	// ErrInvalidRecoveryConfig: a RecoveryConfig EnableRecovery refuses.
+	ErrInvalidRecoveryConfig = core.ErrInvalidRecoveryConfig
 )
 
 // UniformFaults returns a fault plan injecting every failure mode at the

@@ -184,8 +184,11 @@ func TestFacadeDomains(t *testing.T) {
 		t.Fatalf("placements = %.0f, want 6 (one per declared period)", mean.DomainPlacements)
 	}
 
-	d := rdasched.NewDomainSet(rdasched.StrictPolicy{}, rdasched.MB(15),
+	d, err := rdasched.NewDomainSet(rdasched.StrictPolicy{}, rdasched.MB(15),
 		rdasched.DefaultDomainSetConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.NumDomains() != 3 {
 		t.Fatalf("NumDomains = %d, want 3", d.NumDomains())
 	}

@@ -32,7 +32,7 @@ func main() {
 		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
 		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, factor, or waits")
-		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission), e5 (overload: governor vs static policies), or e6 (multi-domain placement)")
+		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission), e5 (overload: governor vs static policies), e6 (multi-domain placement), or e7 (heal: shard failure recovery)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
 		reps     = flag.Int("reps", 4, "repetitions per measurement")
@@ -226,8 +226,20 @@ func main() {
 				}
 				return nil
 			})
+		case "e7", "heal":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunHeal(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				if *metrics {
+					return res.Telemetry.WritePrometheus(os.Stdout)
+				}
+				return nil
+			})
 		default:
-			fatal(fmt.Errorf("unknown experiment %q (have e4, e5, e6)", name))
+			fatal(fmt.Errorf("unknown experiment %q (have e4, e5, e6, e7)", name))
 		}
 	}
 
@@ -248,6 +260,7 @@ func main() {
 		addExperiment("e4")
 		addExperiment("e5")
 		addExperiment("e6")
+		addExperiment("e7")
 	case *table != 0:
 		addTable(*table)
 	case *fig != 0:

@@ -7,6 +7,7 @@
 //	rdasched -workload water_nsq -policy strict
 //	rdasched -workload BLAS-3 -policy compromise -reps 4 -jitter 0.02
 //	rdasched -workload water_nsq -policy strict -trace out.json -metrics
+//	rdasched -workload water_nsq -policy strict -domains 2 -domain-faults 0.5
 //	rdasched -list
 package main
 
@@ -18,10 +19,12 @@ import (
 
 	"rdasched/internal/core"
 	"rdasched/internal/experiments"
+	"rdasched/internal/faults"
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
+	"rdasched/internal/sim"
 	"rdasched/internal/telemetry/trace"
 	"rdasched/internal/workloads"
 )
@@ -43,6 +46,7 @@ func main() {
 		jobs      = flag.Int("jobs", 1, "concurrent repetitions (output is identical for any value)")
 		governor  = flag.Bool("governor", false, "attach the adaptive admission governor (policy degradation, misdeclaration quarantine, waitlist aging)")
 		domains   = flag.Int("domains", 0, "shard the LLC into N admission domains with demand-aware placement and cross-domain steal (0 = unsharded)")
+		domFaults = flag.Float64("domain-faults", 0, "crash admission domain 0 at this many virtual seconds (healing at 2x) and evacuate its periods; needs -domains >= 2")
 	)
 	flag.Parse()
 
@@ -98,6 +102,17 @@ func main() {
 	}
 	if *domains >= 1 && pol == nil {
 		fatal(fmt.Errorf("-domains needs a scheduling policy (-policy strict or compromise)"))
+	}
+	if *domFaults > 0 {
+		if *domains < 2 {
+			fatal(fmt.Errorf("-domain-faults needs -domains >= 2 (a crashed shard needs a survivor to evacuate to)"))
+		}
+		at := sim.FromSeconds(*domFaults)
+		rc.Faults = &faults.Plan{DomainFaults: []faults.DomainFault{
+			{Kind: faults.DomainCrash, Domain: 0, At: at, Heal: at},
+		}}
+		rcfg := core.DefaultRecoveryConfig()
+		rc.Recovery = &rcfg
 	}
 	if *governor {
 		if pol == nil {
@@ -201,6 +216,11 @@ func printMetrics(workload, policy string, m, sd perf.Metrics) {
 	}
 	if m.DomainPlacements > 0 || m.DomainSteals > 0 {
 		t.AddRow("domain placements/steals", fmt.Sprintf("%.1f / %.1f", m.DomainPlacements, m.DomainSteals), "")
+	}
+	if m.DomainFailures > 0 {
+		t.AddRow("domain failures/recoveries", fmt.Sprintf("%.1f / %.1f", m.DomainFailures, m.DomainRecoveries), "")
+		t.AddRow("evacuations (retries)", fmt.Sprintf("%.1f (%.1f)", m.Evacuations, m.EvacRetries), "")
+		t.AddRow("audit repairs / dropped", fmt.Sprintf("%.1f / %.1f", m.AuditRepairs, m.DroppedPeriods), "")
 	}
 	fmt.Print(t.String())
 }

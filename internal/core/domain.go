@@ -54,23 +54,39 @@ const DefaultStealAge = 10 * sim.Millisecond
 
 // DomainConfig sizes a DomainSet.
 type DomainConfig struct {
-	// Domains is the number of LLC domains; values <= 1 build a
-	// single-domain set (the unsharded scheduler behind a facade).
+	// Domains is the number of LLC domains; NewDomainSet rejects values
+	// <= 0 (use 1 for the unsharded scheduler behind a facade).
 	Domains int
 	// StealAge is how long a waitlisted period must have aged on the
 	// virtual clock before the steal pass may migrate it cross-domain.
-	// 0 selects DefaultStealAge; negative disables stealing.
+	// 0 selects DefaultStealAge; negative values are rejected — set
+	// DisableSteal to turn the pass off.
 	StealAge sim.Duration
+	// DisableSteal turns the cross-domain steal pass off entirely.
+	DisableSteal bool
 }
 
 // DefaultDomainConfig returns the default configuration for n domains
 // (stealing enabled at DefaultStealAge).
 func DefaultDomainConfig(n int) DomainConfig { return DomainConfig{Domains: n} }
 
+// Validate reports whether the configuration can build a DomainSet;
+// every violation wraps ErrInvalidDomainConfig.
+func (c DomainConfig) Validate() error {
+	if c.Domains <= 0 {
+		return fmt.Errorf("%w: Domains %d (want >= 1)", ErrInvalidDomainConfig, c.Domains)
+	}
+	if c.StealAge < 0 {
+		return fmt.Errorf("%w: negative StealAge %v (set DisableSteal to disable stealing)",
+			ErrInvalidDomainConfig, c.StealAge)
+	}
+	return nil
+}
+
 // stealAge resolves the configured age bar (0 = disabled).
 func (c DomainConfig) stealAge() sim.Duration {
 	switch {
-	case c.StealAge < 0:
+	case c.DisableSteal:
 		return 0
 	case c.StealAge == 0:
 		return DefaultStealAge
@@ -114,17 +130,24 @@ type DomainSet struct {
 	timer    Timer
 	clock    Clock
 	sinks    []EventSink
-	stealing bool       // reentry guard for the steal scan (and Quiesce suppression)
-	stealEv  *sim.Event // pending not-yet-aged re-scan tick
+	reg      *telemetry.Registry // bound by SetMetrics; recovery histogram source
+	stealing bool                // reentry guard for the steal scan (and Quiesce suppression)
+	stealEv  *sim.Event          // pending not-yet-aged re-scan tick
+
+	// Fault and recovery state; nil until EnableRecovery
+	// (domain_recovery.go).
+	rec *recovery
 }
 
 // NewDomainSet partitions an LLC budget into cfg.Domains equal shards
 // (remainder bytes go to the low-index domains) and builds one
 // Scheduler per domain under the shared policy. Bind the machine with
-// SetWaker/SetClock/SetTimer exactly as for a Scheduler.
-func NewDomainSet(policy Policy, llcCapacity pp.Bytes, cfg DomainConfig) *DomainSet {
-	if cfg.Domains <= 0 {
-		cfg.Domains = 1
+// SetWaker/SetClock/SetTimer exactly as for a Scheduler. An invalid
+// configuration returns ErrInvalidDomainConfig instead of deferring the
+// failure to some later admission path.
+func NewDomainSet(policy Policy, llcCapacity pp.Bytes, cfg DomainConfig) (*DomainSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	d := &DomainSet{
 		cfg:      cfg,
@@ -140,7 +163,7 @@ func NewDomainSet(policy Policy, llcCapacity pp.Bytes, cfg DomainConfig) *Domain
 		}
 		d.shards = append(d.shards, s)
 	}
-	return d
+	return d, nil
 }
 
 // splitShare is the deterministic n-way byte split: floor(total/n) per
@@ -164,11 +187,22 @@ func (d *DomainSet) allocID() pp.ID {
 func (d *DomainSet) NumDomains() int { return len(d.shards) }
 
 // Shard returns domain i's scheduler (introspection for tests and
-// benchmarks; treat it as read-only).
-func (d *DomainSet) Shard(i int) *Scheduler { return d.shards[i] }
+// benchmarks; treat it as read-only), or nil when i is out of range.
+func (d *DomainSet) Shard(i int) *Scheduler {
+	if i < 0 || i >= len(d.shards) {
+		return nil
+	}
+	return d.shards[i]
+}
 
-// Policy returns the shared admission policy.
-func (d *DomainSet) Policy() Policy { return d.shards[0].Policy() }
+// Policy returns the shared admission policy, or nil on an empty shard
+// set (a zero-value DomainSet that never went through NewDomainSet).
+func (d *DomainSet) Policy() Policy {
+	if len(d.shards) == 0 {
+		return nil
+	}
+	return d.shards[0].Policy()
+}
 
 // SetWaker binds the machine used to resume paused threads.
 func (d *DomainSet) SetWaker(w Waker) {
@@ -186,13 +220,15 @@ func (d *DomainSet) SetClock(c Clock) {
 	}
 }
 
-// SetTimer binds the event engine for leases, admission deadlines, and
-// the steal pass's aging tick.
+// SetTimer binds the event engine for leases, admission deadlines, the
+// steal pass's aging tick, and (when recovery is enabled) the audit and
+// evacuation-retry ticks.
 func (d *DomainSet) SetTimer(t Timer) {
 	d.timer = t
 	for _, s := range d.shards {
 		s.SetTimer(t)
 	}
+	d.armAuditTick()
 }
 
 // SetLease configures the period lease on every shard.
@@ -234,8 +270,11 @@ func (d *DomainSet) EnableGovernor(cfg GovernorConfig) {
 }
 
 // SetMetrics binds one registry to every shard: histograms are shared
-// instruments, so each decision lands in the same distribution.
+// instruments, so each decision lands in the same distribution. The
+// set keeps the handle for the recovery layer's time-to-recover
+// histogram.
 func (d *DomainSet) SetMetrics(reg *telemetry.Registry) {
+	d.reg = reg
 	for _, s := range d.shards {
 		s.SetMetrics(reg)
 	}
@@ -323,11 +362,21 @@ func (d *DomainSet) place(ds []pp.Demand) int {
 	if best >= 0 {
 		return best
 	}
-	least := 0
-	for i := 1; i < len(d.shards); i++ {
-		if d.loadFrac(i) < d.loadFrac(least) {
+	// Nowhere admits right now: waitlist on the least-loaded surviving
+	// domain. Quarantined shards are skipped — their zero capacity would
+	// otherwise make them read as empty; with every shard offline the
+	// period parks on shard 0 and waits out the quarantine there.
+	least := -1
+	for i := range d.shards {
+		if d.shards[i].offline {
+			continue
+		}
+		if least == -1 || d.loadFrac(i) < d.loadFrac(least) {
 			least = i
 		}
+	}
+	if least < 0 {
+		least = 0
 	}
 	return least
 }
@@ -378,8 +427,19 @@ func (d *DomainSet) stealScan() {
 		var cands []stealCandidate
 		wait := sim.Duration(-1) // deficit until the next candidate ages
 		for si, s := range d.shards {
-			si := si
+			si, s := si, s
+			if s.offline {
+				// A quarantined shard's backlog belongs to the recovery
+				// path (evacuation / retry), not the steal pass.
+				continue
+			}
 			s.waitlist.Each(func(per *period, _ uint64) {
+				if s.breakerBlocked(per.key.procID) {
+					// The owner's misdeclaration breaker is open: stealing
+					// would admit the period on a shard that never saw the
+					// strikes, re-entering admission around the quarantine.
+					return
+				}
 				w := now.DurationSince(per.enqueuedAt)
 				if w >= age {
 					cands = append(cands, stealCandidate{per: per, src: si})
@@ -400,8 +460,8 @@ func (d *DomainSet) stealScan() {
 		})
 		moved := false
 		for _, c := range cands {
-			if di, ok := d.stealTarget(c); ok {
-				d.migrate(c.per, c.src, di)
+			if di, ok := d.fitTarget(c.per, c.src); ok {
+				d.migrate(c.per, c.src, di, EventSteal)
 				moved = true
 				break
 			}
@@ -416,24 +476,36 @@ func (d *DomainSet) stealScan() {
 	}
 }
 
-// stealTarget picks the destination for a candidate: best fit by
-// remaining outcome among the *other* domains that admit it right now
-// (its own domain's wake scan already had its chance).
-func (d *DomainSet) stealTarget(c stealCandidate) (int, bool) {
+// fitTarget picks a migration destination for a period leaving shard
+// src: best fit by remaining outcome among the *other* online domains
+// that admit it right now and have not quarantined its owner process
+// (src's own wake scan already had its chance). Shared by the steal
+// pass and the evacuation path.
+func (d *DomainSet) fitTarget(per *period, src int) (int, bool) {
 	best, bestOut := -1, pp.Bytes(0)
 	for i, s := range d.shards {
-		if i == c.src {
+		if i == src || s.offline || s.breakerBlocked(per.key.procID) {
 			continue
 		}
-		if run, _ := s.tryScheduleAll(c.per.demands); !run {
+		if run, _ := s.tryScheduleAll(per.demands); !run {
 			continue
 		}
-		out := s.remainingAfter(c.per.demands[0])
+		out := s.remainingAfter(per.demands[0])
 		if best == -1 || out < bestOut {
 			best, bestOut = i, out
 		}
 	}
 	return best, best >= 0
+}
+
+// breakerBlocked reports whether a process's misdeclaration breaker is
+// open on this shard (false without a governor): such a process must
+// not re-enter tracked admission through a cross-shard migration.
+func (s *Scheduler) breakerBlocked(procID int) bool {
+	if s.gov == nil {
+		return false
+	}
+	return s.BreakerState(procID, s.now()) == BreakerOpen
 }
 
 // armStealTick schedules a re-scan for when the youngest waiter will
@@ -451,17 +523,18 @@ func (d *DomainSet) armStealTick(in sim.Duration) {
 	})
 }
 
-// migrate moves an aged waiter from domain si to di and admits it
-// there. The period object moves wholesale: its admission ID, ticket,
-// and enqueue timestamp are untouched, so the wait clock (MaxWait, the
-// wake event's Wait, the governor's pressure window) measures the full
-// wait — a steal never resets how long the period already waited. The
-// pending admission deadline is cancelled exactly as a wake would:
-// the steal *is* the admission.
-func (d *DomainSet) migrate(per *period, si, di int) {
+// migrate moves a waiter from domain si to di and admits it there;
+// kind records the reason (EventSteal for the aging pass, EventEvacuate
+// for the recovery path). The period object moves wholesale: its
+// admission ID, ticket, and enqueue timestamp are untouched, so the
+// wait clock (MaxWait, the wake event's Wait, the governor's pressure
+// window) measures the full wait — a migration never resets how long
+// the period already waited. The pending admission deadline is
+// cancelled exactly as a wake would: the migration *is* the admission.
+func (d *DomainSet) migrate(per *period, si, di int, kind EventKind) {
 	src, dst := d.shards[si], d.shards[di]
 	if !src.waitlist.Remove(per.ticket) {
-		panic(fmt.Sprintf("core: steal of period %d not on domain %d waitlist", per.id, si))
+		panic(fmt.Sprintf("core: migration of period %d not on domain %d waitlist", per.id, si))
 	}
 	delete(src.active, per.key)
 	delete(src.byID, per.id)
@@ -470,11 +543,15 @@ func (d *DomainSet) migrate(per *period, si, di int) {
 	dst.active[per.key] = per
 	dst.byID[per.id] = per
 	d.domainOf[per.key] = di
-	d.steals++
-	d.emitDomain(EventSteal, di, per.key, per.demands[0])
+	if kind == EventEvacuate {
+		d.rec.stats.Evacuations++
+	} else {
+		d.steals++
+	}
+	d.emitDomain(kind, di, per.key, per.demands[0])
 	runnable, safeguard := dst.tryScheduleAll(per.demands)
 	if !runnable {
-		panic(fmt.Sprintf("core: steal destination %d cannot admit period %d", di, per.id))
+		panic(fmt.Sprintf("core: migration destination %d cannot admit period %d", di, per.id))
 	}
 	if safeguard {
 		dst.stats.Safegrds++
@@ -606,6 +683,12 @@ func (d *DomainSet) Quiesce() int {
 	}
 	d.stealing = true
 	defer func() { d.stealing = false }()
+	if d.rec != nil {
+		// Repair any outstanding ledger drift first: Quiesce's zero-
+		// residue check asserts the *exact* ledger, and an uncorrected
+		// corruption skew would trip it (or hide a real leak).
+		d.runAudit(false)
+	}
 	n := 0
 	for _, s := range d.shards {
 		n += s.Quiesce()
@@ -646,5 +729,8 @@ func (d *DomainSet) PublishStats(reg *telemetry.Registry) {
 		reg.Gauge(MetricDomainPeakBytes+suffix).Set(float64(s.rm.Peak(pp.ResourceLLC)))
 		reg.Gauge(MetricDomainWaitlist+suffix).Set(float64(s.Waitlisted()))
 		reg.Counter(MetricDomainAdmitted+suffix).Add(s.stats.Admitted)
+	}
+	if d.rec != nil {
+		publishRecoveryStats(reg, d.rec.stats)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"rdasched/internal/machine"
@@ -17,12 +18,21 @@ func buildDomains(t *testing.T, policy Policy, dcfg DomainConfig) (*DomainSet, *
 	cfg.WakeLatency = 0
 	cfg.OverheadAPIInstr = 0
 	cfg.OverheadKernelInstr = 0
-	d := NewDomainSet(policy, cfg.LLCCapacity, dcfg)
+	d := mustDomainSet(t, policy, cfg.LLCCapacity, dcfg)
 	m := machine.New(cfg, d)
 	d.SetWaker(m)
 	d.SetClock(m.Now)
 	d.SetTimer(m.Engine())
 	return d, m
+}
+
+func mustDomainSet(t *testing.T, policy Policy, llc pp.Bytes, dcfg DomainConfig) *DomainSet {
+	t.Helper()
+	d, err := NewDomainSet(policy, llc, dcfg)
+	if err != nil {
+		t.Fatalf("NewDomainSet: %v", err)
+	}
+	return d
 }
 
 func TestSplitShare(t *testing.T) {
@@ -152,7 +162,7 @@ func TestDomainAggregatesSumShards(t *testing.T) {
 // TestPlaceBestFit drives the placer directly: pack-tight among
 // admitting domains, least-loaded fallback, lower index on ties.
 func TestPlaceBestFit(t *testing.T) {
-	d := NewDomainSet(StrictPolicy{}, pp.MB(16), DefaultDomainConfig(2)) // 8 MB per domain
+	d := mustDomainSet(t, StrictPolicy{}, pp.MB(16), DefaultDomainConfig(2)) // 8 MB per domain
 	dm := func(mb float64) []pp.Demand {
 		return []pp.Demand{{Resource: pp.ResourceLLC, WorkingSet: pp.MB(mb), Reuse: pp.ReuseHigh}}
 	}
@@ -252,12 +262,12 @@ func TestStealMigratesAgedWaiter(t *testing.T) {
 	}
 }
 
-// TestStealDisabled pins the negative-StealAge escape hatch: the same
+// TestStealDisabled pins the DisableSteal escape hatch: the same
 // scenario moves nothing, and the waiter is woken by its own domain
 // when the long hog finally ends.
 func TestStealDisabled(t *testing.T) {
 	d, m := buildDomains(t, StrictPolicy{},
-		DomainConfig{Domains: 2, StealAge: -1})
+		DomainConfig{Domains: 2, DisableSteal: true})
 	for _, spec := range []struct {
 		name  string
 		instr float64
@@ -277,11 +287,114 @@ func TestStealDisabled(t *testing.T) {
 	}
 }
 
+// TestDomainConfigValidation pins the constructor contract: bad
+// configurations return ErrInvalidDomainConfig instead of deferring a
+// panic to some later admission path.
+func TestDomainConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  DomainConfig
+		ok   bool
+	}{
+		{"zero domains", DomainConfig{Domains: 0}, false},
+		{"negative domains", DomainConfig{Domains: -3}, false},
+		{"negative steal age", DomainConfig{Domains: 2, StealAge: -1}, false},
+		{"one domain", DomainConfig{Domains: 1}, true},
+		{"disable steal", DomainConfig{Domains: 2, DisableSteal: true}, true},
+		{"explicit age", DomainConfig{Domains: 4, StealAge: sim.Millisecond}, true},
+	} {
+		d, err := NewDomainSet(StrictPolicy{}, pp.MB(15), tc.cfg)
+		if tc.ok {
+			if err != nil || d == nil {
+				t.Errorf("%s: NewDomainSet failed: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: NewDomainSet accepted %+v", tc.name, tc.cfg)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidDomainConfig) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidDomainConfig", tc.name, err)
+		}
+	}
+}
+
+// TestDomainBoundsChecks pins the introspection accessors on empty and
+// out-of-range inputs: nil, never a panic.
+func TestDomainBoundsChecks(t *testing.T) {
+	d := mustDomainSet(t, StrictPolicy{}, pp.MB(15), DefaultDomainConfig(2))
+	if got := d.Shard(-1); got != nil {
+		t.Errorf("Shard(-1) = %v, want nil", got)
+	}
+	if got := d.Shard(2); got != nil {
+		t.Errorf("Shard(2) = %v, want nil", got)
+	}
+	if got := d.Shard(1); got == nil {
+		t.Error("Shard(1) = nil for an in-range index")
+	}
+	if got := d.Policy(); got == nil {
+		t.Error("Policy() = nil on a built set")
+	}
+	var empty DomainSet
+	if got := empty.Policy(); got != nil {
+		t.Errorf("zero-value Policy() = %v, want nil", got)
+	}
+	if got := empty.Shard(0); got != nil {
+		t.Errorf("zero-value Shard(0) = %v, want nil", got)
+	}
+	if empty.Quarantined(0) {
+		t.Error("zero-value Quarantined(0) = true")
+	}
+}
+
+// TestStealSkipsOpenBreaker pins the governor-quarantine × steal
+// interplay: a waitlisted period whose owner process has an open
+// misdeclaration breaker on its shard must not be stolen into admission
+// on another shard — the quarantine would be laundered through the
+// migration.
+func TestStealSkipsOpenBreaker(t *testing.T) {
+	d, m := buildDomains(t, StrictPolicy{},
+		DomainConfig{Domains: 2, StealAge: 1})
+	d.EnableGovernor(DefaultGovernorConfig())
+	if _, err := m.AddProcess(declaredProc("hog-long", pp.MB(6), 4e8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddProcess(declaredProc("hog-short", pp.MB(6), 1e7)); err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := m.AddProcess(declaredProc("waiter", pp.MB(6), 1e7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trip the waiter's breaker on every shard after it is waitlisted
+	// (t=0) but before the short hog drains (~5 ms): by the time the
+	// steal pass runs, the owner is quarantined and the otherwise-certain
+	// steal must not happen. (Tripping it before the run would
+	// quarantine-admit the waiter at pp_begin and never exercise the
+	// steal path at all.)
+	m.Engine().After(sim.Millisecond, func() {
+		for i := 0; i < d.NumDomains(); i++ {
+			s := d.Shard(i)
+			s.gov.breakers[waiter.ID()] = &breaker{state: BreakerOpen, openedAt: m.Now()}
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ds := d.DomainStats(); ds.Steals != 0 {
+		t.Fatalf("steals = %d for a circuit-broken owner, want 0", ds.Steals)
+	}
+	if st := d.Stats(); st.Ends != 3 {
+		t.Fatalf("ends = %d, want 3 (the waiter still finishes, on its own shard)", st.Ends)
+	}
+}
+
 // TestDomainQuiesce checks end-of-run reclamation across shards: every
 // registered period is reclaimed in domain order and the set reports
 // zero residue afterwards.
 func TestDomainQuiesce(t *testing.T) {
-	d := NewDomainSet(StrictPolicy{}, pp.MB(16), DefaultDomainConfig(2))
+	d := mustDomainSet(t, StrictPolicy{}, pp.MB(16), DefaultDomainConfig(2))
 	dm := pp.Demand{Resource: pp.ResourceLLC, WorkingSet: pp.MB(3), Reuse: pp.ReuseHigh}
 	for i := 0; i < 4; i++ {
 		key := periodKey{procID: i, phaseIdx: 0}

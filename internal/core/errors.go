@@ -26,4 +26,17 @@ var (
 	// (accounting bug); external callers of ResourceMonitor get the
 	// error.
 	ErrLoadUnderflow = errors.New("core: resource load underflow")
+	// ErrInvalidDomainConfig marks a DomainConfig NewDomainSet refuses to
+	// build: a non-positive domain count or a negative steal age (use
+	// DisableSteal to turn the steal pass off).
+	ErrInvalidDomainConfig = errors.New("core: invalid domain config")
+	// ErrInvalidDomain marks a domain index outside the set, or a
+	// recovery operation on a set that cannot perform it (fault injection
+	// without EnableRecovery, or on a single-domain set with no surviving
+	// shard to evacuate to).
+	ErrInvalidDomain = errors.New("core: invalid domain")
+	// ErrInvalidRecoveryConfig marks a RecoveryConfig EnableRecovery
+	// refuses: an unknown mode, a negative retry budget or interval, or a
+	// retry budget with no backoff base.
+	ErrInvalidRecoveryConfig = errors.New("core: invalid recovery config")
 )

@@ -89,12 +89,25 @@ func checkDomainInvariants(seed uint64, domains, polIdx uint8) error {
 	n := 1 + int(domains)%4
 	// Sweep the steal knob from hyper-aggressive through default to
 	// disabled; the invariants may not depend on it.
-	age := []sim.Duration{1, 10 * sim.Microsecond, 0, -1}[(seed>>8)%4]
+	dcfg := DomainConfig{Domains: n}
+	switch (seed >> 8) % 4 {
+	case 0:
+		dcfg.StealAge = 1
+	case 1:
+		dcfg.StealAge = 10 * sim.Microsecond
+	case 2:
+		// default age
+	case 3:
+		dcfg.DisableSteal = true
+	}
 	w := randomWorkload(seed, 8)
 
 	cfg := machine.DefaultConfig()
 	cfg.MaxSimTime = 600 * sim.Second
-	d := NewDomainSet(pol, cfg.LLCCapacity, DomainConfig{Domains: n, StealAge: age})
+	d, err := NewDomainSet(pol, cfg.LLCCapacity, dcfg)
+	if err != nil {
+		return fmt.Errorf("seed %d domains %d: NewDomainSet: %v", seed, n, err)
+	}
 	m := machine.New(cfg, d)
 	d.SetWaker(m)
 	d.SetClock(m.Now)

@@ -96,6 +96,23 @@ func (s *Scheduler) scheduleDeadline(per *period) {
 	})
 }
 
+// scheduleDeadlineIn arms the fallback-admission deadline with an
+// explicit remaining budget — used when a waiter is transferred between
+// shards during evacuation, where the clock on its original deadline
+// must keep running rather than restart.
+func (s *Scheduler) scheduleDeadlineIn(per *period, d sim.Duration) {
+	if s.deadline <= 0 || s.timer == nil {
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	per.deadlineEv = s.timer.After(d, func() {
+		per.deadlineEv = nil
+		s.fallbackAdmit(per)
+	})
+}
+
 func (s *Scheduler) cancelDeadline(per *period) {
 	if per.deadlineEv != nil && s.timer != nil {
 		s.timer.Cancel(per.deadlineEv)

@@ -68,6 +68,27 @@ const (
 	// EventSteal: an aged waitlisted period was migrated cross-domain
 	// and admitted on the stealing domain.
 	EventSteal
+
+	// Domain fault and recovery decisions (domain_recovery.go). Shard-
+	// level events carry Proc -1; Event.Domain is the shard the event is
+	// about and Event.Demand.WorkingSet the magnitude (capacity lost,
+	// ledger drift, capacity restored).
+	//
+	// EventDomainFail: an injected shard fault was applied; Phase carries
+	// the fault discriminator (DomainFaultCapacity, DomainFaultCrash,
+	// DomainFaultLedger).
+	EventDomainFail
+	// EventEvacuate: a period was migrated off a failed shard — admitted
+	// on the destination when capacity allowed, or transferred to its
+	// waitlist otherwise. Per-period: ID/Proc/Phase are the period's,
+	// Domain is the destination shard.
+	EventEvacuate
+	// EventRecover: a quarantined or degraded shard was reintegrated and
+	// the capacity split restored.
+	EventRecover
+	// EventAudit: the invariant auditor found a shard's ledger drifted
+	// from the sum of its admitted periods' charges and repaired it.
+	EventAudit
 )
 
 func (k EventKind) String() string {
@@ -104,6 +125,14 @@ func (k EventKind) String() string {
 		return "place"
 	case EventSteal:
 		return "steal"
+	case EventDomainFail:
+		return "domain-fail"
+	case EventEvacuate:
+		return "evacuate"
+	case EventRecover:
+		return "recover"
+	case EventAudit:
+		return "audit"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

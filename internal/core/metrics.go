@@ -73,6 +73,21 @@ const (
 	MetricDomainPeakBytes  = "rda_domain_peak_bytes"         // + "_<idx>": peak LLC load per domain
 	MetricDomainWaitlist   = "rda_domain_waitlist_periods"   // + "_<idx>": end-of-run waitlist depth per domain
 	MetricDomainAdmitted   = "rda_domain_admitted_total"     // + "_<idx>": periods admitted per domain
+
+	// Recovery counters and the time-to-recover histogram, published by
+	// DomainSet.PublishStats when EnableRecovery was called
+	// (domain_recovery.go).
+	MetricRecoveryFailures       = "rda_recovery_domain_failures_total" // injected shard crashes
+	MetricRecoveryCorruptions    = "rda_recovery_corruptions_total"     // injected ledger-corruption events
+	MetricRecoveryEvacuations    = "rda_recovery_evacuations_total"     // periods moved off failed shards
+	MetricRecoveryRetries        = "rda_recovery_retries_total"         // evacuation backoff ticks fired
+	MetricRecoveryForcedMoves    = "rda_recovery_forced_moves_total"    // actives moved to a shard that could not fit them
+	MetricRecoveryLadderFalls    = "rda_recovery_ladder_fallbacks_total" // stranded waiters handed to the admission ladder
+	MetricRecoveryDropped        = "rda_recovery_dropped_total"          // periods degraded to untracked by RecoverDrop
+	MetricRecoveryAuditRuns      = "rda_recovery_audit_runs_total"       // auditor passes over the shard set
+	MetricRecoveryAuditRepairs   = "rda_recovery_audit_repairs_total"    // per-resource ledger drifts repaired
+	MetricRecoveryReintegrations = "rda_recovery_reintegrations_total"   // shards reintegrated by RecoverDomain
+	MetricRecoverySeconds        = "rda_recovery_time_seconds"           // crash-to-reintegration latency histogram
 )
 
 // schedMetrics holds pre-resolved instrument handles so the decision
@@ -146,6 +161,21 @@ func publishSchedStats(reg *telemetry.Registry, st Stats, active int, load pp.By
 	reg.Gauge(MetricMaxWaitSeconds).Set(st.MaxWait.Seconds())
 	reg.Gauge(MetricActivePeriods).Set(float64(active))
 	reg.Gauge(MetricLLCLoadBytes).Set(float64(load))
+}
+
+// publishRecoveryStats writes the recovery counter family (the
+// time-to-recover histogram is sampled live at each RecoverDomain).
+func publishRecoveryStats(reg *telemetry.Registry, rs RecoveryStats) {
+	reg.Counter(MetricRecoveryFailures).Add(rs.Failures)
+	reg.Counter(MetricRecoveryCorruptions).Add(rs.Corruptions)
+	reg.Counter(MetricRecoveryEvacuations).Add(rs.Evacuations)
+	reg.Counter(MetricRecoveryRetries).Add(rs.EvacRetries)
+	reg.Counter(MetricRecoveryForcedMoves).Add(rs.ForcedMoves)
+	reg.Counter(MetricRecoveryLadderFalls).Add(rs.LadderFallbacks)
+	reg.Counter(MetricRecoveryDropped).Add(rs.Dropped)
+	reg.Counter(MetricRecoveryAuditRuns).Add(rs.AuditRuns)
+	reg.Counter(MetricRecoveryAuditRepairs).Add(rs.AuditRepairs)
+	reg.Counter(MetricRecoveryReintegrations).Add(rs.Reintegrations)
 }
 
 // publishGovernorStats writes the governor counter family; level is the

@@ -67,6 +67,11 @@ type period struct {
 	admittedAt sim.Time
 	deadlineEv *sim.Event
 	leaseEv    *sim.Event
+
+	// evacuated marks a waiter displaced off a failed shard that found no
+	// surviving shard with room; the recovery retry loop re-probes these
+	// until its backoff budget runs out (domain_recovery.go).
+	evacuated bool
 }
 
 // Scheduler is the RDA scheduling extension. It implements machine.Gate:
@@ -120,6 +125,16 @@ type Scheduler struct {
 	idSrc     func() pp.ID
 	domainIdx int
 	postWake  func()
+
+	// Recovery hooks (domain_recovery.go). offline quarantines the shard:
+	// the predicate denies everything, including the empty-load safeguard,
+	// so a crashed shard never admits even once drained. tolerateDrift
+	// turns a load-table underflow on the decrement path into a clamp to
+	// zero instead of a panic — required once injected ledger corruption
+	// can legally skew usage below the sum of outstanding charges; the
+	// invariant auditor repairs the ledger exactly afterwards.
+	offline       bool
+	tolerateDrift bool
 }
 
 // New builds a scheduler over the given policy and LLC capacity. The
@@ -236,6 +251,12 @@ func (s *Scheduler) TrySchedule(d pp.Demand) (runnable, safeguard bool) {
 // period runs only when all targeted resources admit it. The safeguard
 // applies per resource (an idle resource never blocks a lone period).
 func (s *Scheduler) tryScheduleAll(ds []pp.Demand) (runnable, safeguard bool) {
+	if s.offline {
+		// Quarantined shard: nothing is admitted, not even by the
+		// empty-load safeguard — a crashed shard with zero usage must not
+		// resurrect itself by admitting the next arrival.
+		return false, false
+	}
 	for _, d := range ds {
 		run, sg := s.TrySchedule(d)
 		if !run {
@@ -541,6 +562,13 @@ func (s *Scheduler) mustIncrement(d pp.Demand) {
 
 func (s *Scheduler) mustDecrement(d pp.Demand) {
 	if err := s.rm.Decrement(d); err != nil {
+		if s.tolerateDrift && errors.Is(err, ErrLoadUnderflow) {
+			// Injected ledger corruption can pull usage below the sum of
+			// outstanding charges; clamp instead of panicking and let the
+			// auditor restore the exact ledger.
+			s.rm.usage[d.Resource] = 0
+			return
+		}
 		panic(err)
 	}
 }

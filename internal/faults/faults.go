@@ -59,6 +59,71 @@ type Plan struct {
 	BurstWaves int
 	// WaveSpacingInstr is the spin length separating waves.
 	WaveSpacingInstr float64
+
+	// DomainFaults are domain-level faults scheduled on the virtual
+	// clock (shard capacity loss, crashes, ledger corruption). Unlike
+	// the per-process modes above they do not transform the workload —
+	// the harness arms them on the run's event engine against the
+	// DomainSet (see internal/perf).
+	DomainFaults []DomainFault
+}
+
+// DomainFaultKind classifies a scheduled domain-level fault.
+type DomainFaultKind int
+
+const (
+	// DomainCapacityLoss removes Frac of the target shard's baseline
+	// LLC share at time At.
+	DomainCapacityLoss DomainFaultKind = iota
+	// DomainCrash takes the target shard fully offline at time At,
+	// triggering the configured recovery mode.
+	DomainCrash
+	// DomainLedgerSkew corrupts the target shard's LLC load table by
+	// Skew bytes at time At (repaired by the invariant auditor).
+	DomainLedgerSkew
+)
+
+func (k DomainFaultKind) String() string {
+	switch k {
+	case DomainCapacityLoss:
+		return "capacity-loss"
+	case DomainCrash:
+		return "crash"
+	case DomainLedgerSkew:
+		return "ledger-skew"
+	default:
+		return "unknown"
+	}
+}
+
+// DomainFault is one scheduled domain-level fault.
+type DomainFault struct {
+	Kind   DomainFaultKind
+	Domain int          // target shard index
+	At     sim.Duration // virtual time from run start
+	Frac   float64      // DomainCapacityLoss: fraction of the baseline share lost
+	Skew   pp.Bytes     // DomainLedgerSkew: signed ledger offset
+	// Heal, when positive, schedules RecoverDomain at At+Heal for
+	// capacity-loss and crash faults (zero = the fault is permanent).
+	Heal sim.Duration
+}
+
+// DomainPlan returns a seeded schedule of domain faults for a set of n
+// domains: one crash of a seed-chosen shard at crashAt (healing after
+// heal, if positive) plus one positive ledger skew on a different shard
+// at half the crash time. n < 2 returns nothing — there is no shard to
+// evacuate to.
+func DomainPlan(seed uint64, n int, crashAt, heal sim.Duration, skew pp.Bytes) []DomainFault {
+	if n < 2 || crashAt <= 0 {
+		return nil
+	}
+	rng := sim.NewRNG(runner.Seed(seed, 0x0d0f))
+	crashed := int(rng.Uint64() % uint64(n))
+	skewed := (crashed + 1 + int(rng.Uint64()%uint64(n-1))) % n
+	return []DomainFault{
+		{Kind: DomainLedgerSkew, Domain: skewed, At: crashAt / 2, Skew: skew},
+		{Kind: DomainCrash, Domain: crashed, At: crashAt, Heal: heal},
+	}
 }
 
 // Uniform returns a plan injecting every failure mode at the same rate

@@ -66,6 +66,17 @@ type Metrics struct {
 	DomainPlacements float64
 	DomainSteals     float64
 
+	// Recovery counters (zero unless domain faults were injected):
+	// shard crashes, periods moved off failed shards, backoff retry
+	// ticks, ledger drifts repaired by the auditor, shards reintegrated,
+	// and periods the RecoverDrop baseline degraded to untracked.
+	DomainFailures   float64
+	Evacuations      float64
+	EvacRetries      float64
+	AuditRepairs     float64
+	DomainRecoveries float64
+	DroppedPeriods   float64
+
 	// Telemetry is the run's metrics registry (RunConfig.Telemetry):
 	// the scheduler's counters plus wait-time, period-length,
 	// occupancy, and waitlist-depth histograms. On an aggregate it is
@@ -130,6 +141,10 @@ type RunConfig struct {
 	// core.DefaultStealAge, negative disables stealing). Only
 	// meaningful with Domains >= 2.
 	StealAge sim.Duration
+	// Recovery configures the domain fault/recovery subsystem; nil with
+	// Faults.DomainFaults scheduled selects core.DefaultRecoveryConfig.
+	// Only meaningful with Domains >= 2.
+	Recovery *core.RecoveryConfig
 
 	// Telemetry attaches a fresh metrics registry to each repetition's
 	// scheduler (Metrics.Telemetry). Only meaningful with a non-nil
@@ -227,13 +242,31 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	if rc.Policy == nil {
 		w = Undeclare(w)
 	} else if rc.Domains >= 1 {
-		dset = core.NewDomainSet(rc.Policy, cfg.LLCCapacity,
-			core.DomainConfig{Domains: rc.Domains, StealAge: rc.StealAge})
+		// RunConfig keeps the old "negative StealAge disables stealing"
+		// contract; the core config expresses that as DisableSteal.
+		dcfg := core.DomainConfig{Domains: rc.Domains, StealAge: rc.StealAge}
+		if rc.StealAge < 0 {
+			dcfg.StealAge, dcfg.DisableSteal = 0, true
+		}
+		var err error
+		dset, err = core.NewDomainSet(rc.Policy, cfg.LLCCapacity, dcfg)
+		if err != nil {
+			return Metrics{}, err
+		}
 		// Track memory bandwidth as a second resource, split across the
 		// domains like the LLC budget.
 		dset.SetResourceCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
 		if rc.Reserve > 0 {
 			dset.SetReserve(rc.Reserve)
+		}
+		if rc.Faults != nil && len(rc.Faults.DomainFaults) > 0 {
+			rcfg := core.DefaultRecoveryConfig()
+			if rc.Recovery != nil {
+				rcfg = *rc.Recovery
+			}
+			if err := dset.EnableRecovery(rcfg); err != nil {
+				return Metrics{}, err
+			}
 		}
 		schd, gate = dset, dset
 	} else {
@@ -267,6 +300,11 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 			schd.AddSink(col)
 		}
 	}
+	if dset != nil && rc.Faults != nil && len(rc.Faults.DomainFaults) > 0 {
+		if err := armDomainFaults(dset, m.Engine(), rc.Faults.DomainFaults); err != nil {
+			return Metrics{}, err
+		}
+	}
 	if err := m.AddWorkload(w); err != nil {
 		return Metrics{}, err
 	}
@@ -297,8 +335,10 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		spans = col.Spans()
 	}
 	var dst core.DomainStats
+	var rst core.RecoveryStats
 	if dset != nil {
 		dst = dset.DomainStats()
+		rst = dset.RecoveryStats()
 	}
 	return Metrics{
 		Telemetry: reg,
@@ -328,7 +368,52 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 
 		DomainPlacements: float64(dst.Placements),
 		DomainSteals:     float64(dst.Steals),
+
+		DomainFailures:   float64(rst.Failures),
+		Evacuations:      float64(rst.Evacuations),
+		EvacRetries:      float64(rst.EvacRetries),
+		AuditRepairs:     float64(rst.AuditRepairs),
+		DomainRecoveries: float64(rst.Reintegrations),
+		DroppedPeriods:   float64(rst.Dropped),
 	}, nil
+}
+
+// armDomainFaults schedules a plan's domain-level faults on the run's
+// event engine, in plan order. Each fault validates its target index up
+// front so a misconfigured sweep fails at arm time, not mid-run; faults
+// with a positive Heal arm the matching RecoverDomain alongside.
+func armDomainFaults(dset *core.DomainSet, eng *sim.Engine, dfs []faults.DomainFault) error {
+	for i, df := range dfs {
+		if df.Domain < 0 || df.Domain >= dset.NumDomains() {
+			return fmt.Errorf("perf: domain fault %d targets domain %d of %d", i, df.Domain, dset.NumDomains())
+		}
+		if df.At <= 0 {
+			return fmt.Errorf("perf: domain fault %d at non-positive time %v", i, df.At)
+		}
+		df := df
+		eng.After(df.At, func() {
+			var err error
+			switch df.Kind {
+			case faults.DomainCapacityLoss:
+				err = dset.InjectCapacityLoss(df.Domain, df.Frac)
+			case faults.DomainCrash:
+				err = dset.InjectCrash(df.Domain)
+			case faults.DomainLedgerSkew:
+				err = dset.InjectLedgerCorruption(df.Domain, df.Skew)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("perf: domain fault injection: %v", err))
+			}
+		})
+		if df.Heal > 0 && df.Kind != faults.DomainLedgerSkew {
+			eng.After(df.At+df.Heal, func() {
+				if err := dset.RecoverDomain(df.Domain); err != nil {
+					panic(fmt.Sprintf("perf: domain recovery: %v", err))
+				}
+			})
+		}
+	}
+	return nil
 }
 
 // Undeclare strips every Declared flag: the workload as it runs on the
@@ -382,6 +467,8 @@ func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 			&m.GovernorDegradations, &m.GovernorRecoveries, &m.GovernorQuarantines,
 			&m.GovernorRestores, &m.GovernorReservations,
 			&m.DomainPlacements, &m.DomainSteals,
+			&m.DomainFailures, &m.Evacuations, &m.EvacRetries,
+			&m.AuditRepairs, &m.DomainRecoveries, &m.DroppedPeriods,
 		}
 	}
 	for rep, s := range samples {

@@ -145,15 +145,20 @@ func (c *Collector) Record(e core.Event) {
 		// carry Proc -1 and the new level in Phase; restore/reserve
 		// carry the affected period's coordinates.
 		c.mark(e, e.Kind.String())
-	case core.EventPlace, core.EventSteal:
+	case core.EventPlace, core.EventSteal, core.EventEvacuate:
 		// Domain decisions are instant marks carrying the chosen domain;
-		// a steal also re-homes the open span so its period slice lands
-		// on the domain it actually ran on.
-		if e.Kind == core.EventSteal {
+		// a steal or evacuation also re-homes the open span so its period
+		// slice lands on the domain it actually ran on.
+		if e.Kind == core.EventSteal || e.Kind == core.EventEvacuate {
 			if sp := c.open[e.ID]; sp != nil {
 				sp.Domain = e.Domain
 			}
 		}
+		c.mark(e, e.Kind.String())
+	case core.EventDomainFail, core.EventRecover, core.EventAudit:
+		// Shard-level fault/recovery transitions: instant marks with
+		// Proc -1, the fault discriminator in Phase, and the magnitude
+		// (capacity lost/restored, ledger drift) in Demand.
 		c.mark(e, e.Kind.String())
 	}
 }
