@@ -2,8 +2,9 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
 
-.PHONY: all test race fuzz vet bench experiments chaos govern domains heal examples cover clean
+.PHONY: all test race fuzz vet bench experiments chaos govern domains heal observe examples cover clean
 
 all: test
 
@@ -25,9 +26,17 @@ fuzz:
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzGovernorInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDomainInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzRecoveryInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/telemetry/blame -run='^$$' -fuzz=FuzzBlameInvariants -fuzztime=$(FUZZTIME)
 
+# Full benchmark sweep, converted by scripts/benchjson into the
+# machine-readable BENCH_8.json artifact (and schema-checked). Raise
+# BENCHTIME (e.g. BENCHTIME=1s) for stable numbers; the default 1x
+# keeps the target fast enough for CI.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... > /tmp/rda-bench.txt
+	cat /tmp/rda-bench.txt
+	$(GO) run ./scripts/benchjson -o BENCH_8.json < /tmp/rda-bench.txt
+	$(GO) run ./scripts/benchjson -check BENCH_8.json
 
 experiments:
 	$(GO) run ./cmd/experiments -all
@@ -47,6 +56,12 @@ domains:
 # E7: domain failure injection — governed evacuation vs stall/drop.
 heal:
 	$(GO) run ./cmd/experiments -experiment e7 -scale 0.2
+
+# E8: causal wait attribution — blame matrix, critical path, SLO burn
+# rate — plus one self-contained HTML report per policy, validated.
+observe:
+	$(GO) run ./cmd/experiments -experiment e8 -scale 0.2 -obs-dir /tmp/rda-obs
+	$(GO) run ./scripts/jsoncheck /tmp/rda-obs/*.html
 
 examples:
 	$(GO) run ./examples/quickstart

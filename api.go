@@ -19,6 +19,7 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/sim"
 	"rdasched/internal/telemetry"
+	"rdasched/internal/telemetry/blame"
 	"rdasched/internal/telemetry/trace"
 	"rdasched/internal/workloads"
 )
@@ -254,6 +255,61 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 // Perfetto or chrome://tracing.
 func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
 	return trace.WriteChrome(w, spans)
+}
+
+// Causal wait attribution (the blame engine): who made each denied
+// period wait, and for how long. Enable through RunConfig.Blame /
+// RunConfig.SLO (results on Metrics.Blame / Metrics.SLO), or attach a
+// BlameCollector / SLOMonitor via Scheduler.AddSink on a hand-wired
+// stack. Attribution is exact: blamed shares plus the unattributed
+// remainder reconstruct every wait to the picosecond.
+type (
+	// Blocker is one admitted period resident at denial time.
+	Blocker = core.Blocker
+	// BlameSink extends EventSink with denial-time blocker snapshots.
+	BlameSink = core.BlameSink
+	// BlameCollector consumes the decision stream into a BlameReport.
+	BlameCollector = blame.Collector
+	// BlameReport is the attribution result: per-period blame timeline,
+	// interference matrix, and critical-path decomposition.
+	BlameReport = blame.Report
+	// PeriodBlame is one denied period's wait, split across blockers.
+	PeriodBlame = blame.PeriodBlame
+	// InterferenceCell is one (blocker process, waiting process) total.
+	InterferenceCell = blame.MatrixCell
+	// CriticalPath splits a run's makespan into run / blamed wait /
+	// unattributed wait / idle segments.
+	CriticalPath = blame.Path
+	// SLOConfig is an admission-latency objective with burn-rate
+	// alerting windows.
+	SLOConfig = blame.SLOConfig
+	// SLOMonitor evaluates an SLOConfig over the decision stream.
+	SLOMonitor = blame.SLOMonitor
+	// SLOResult is the evaluation: breach counts, alert count, and the
+	// multi-window burn-rate timeline.
+	SLOResult = blame.SLOResult
+	// ObsReportMeta labels the HTML observability report.
+	ObsReportMeta = blame.ReportMeta
+)
+
+// NewBlameCollector returns an empty attribution collector to pass to
+// Scheduler.AddSink; call Finish then Report after the run.
+func NewBlameCollector() *BlameCollector { return blame.NewCollector() }
+
+// DefaultSLOConfig returns the default admission-latency objective
+// (50 ms at the 95th percentile, 1 s and 5 s burn windows, alert at 2x).
+func DefaultSLOConfig() SLOConfig { return blame.DefaultSLOConfig() }
+
+// NewSLOMonitor returns a monitor for cfg to pass to Scheduler.AddSink;
+// call Result after the run. The configuration is validated.
+func NewSLOMonitor(cfg SLOConfig) (*SLOMonitor, error) { return blame.NewSLOMonitor(cfg) }
+
+// WriteObservabilityHTML renders a blame report and an optional SLO
+// result (nil to omit) as one self-contained HTML document: summary
+// cards, critical-path bar, interference heatmap, top waiters, and the
+// burn-rate timeline, with the raw payload embedded as JSON.
+func WriteObservabilityHTML(w io.Writer, meta ObsReportMeta, rpt *BlameReport, slo *SLOResult) error {
+	return blame.WriteHTML(w, meta, rpt, slo)
 }
 
 // Table2 returns the paper's eight workloads.

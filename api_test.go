@@ -2,6 +2,7 @@ package rdasched_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"rdasched"
@@ -199,6 +200,61 @@ func TestFacadeDomains(t *testing.T) {
 	}
 	if total != rdasched.MB(15) {
 		t.Fatalf("per-domain capacities sum to %v, want the whole LLC", total)
+	}
+}
+
+// TestFacadeBlame exercises the observability surface: a contended run
+// with blame attribution and SLO evaluation enabled yields a report
+// that satisfies the conservation invariant and renders as HTML.
+func TestFacadeBlame(t *testing.T) {
+	kernel := rdasched.Phase{
+		Name:             "kernel",
+		Instr:            1e7,
+		WSS:              rdasched.MB(6.3),
+		Reuse:            rdasched.ReuseHigh,
+		AccessesPerInstr: 0.3,
+		PrivateHitFrac:   0.85,
+		StreamFrac:       0.05,
+		FlopsPerInstr:    0.5,
+		Declared:         true,
+	}
+	var w rdasched.Workload
+	w.Name = "blame"
+	for i := 0; i < 4; i++ {
+		w.Procs = append(w.Procs, rdasched.Spec{
+			Name: "p", Threads: 1, Program: rdasched.Program{kernel},
+		})
+	}
+	slo := rdasched.DefaultSLOConfig()
+	mean, _, err := rdasched.Run(w, rdasched.RunConfig{
+		Machine: rdasched.DefaultMachine(),
+		Policy:  rdasched.StrictPolicy{},
+		Blame:   true,
+		SLO:     &slo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Blame == nil {
+		t.Fatal("no blame report collected")
+	}
+	if err := mean.Blame.Check(); err != nil {
+		t.Fatalf("conservation violated: %v", err)
+	}
+	// 4 × 6.3 MB on 15 MB under strict: someone must have been blamed.
+	if mean.Blame.Denies == 0 || mean.Blame.TotalBlamed == 0 {
+		t.Fatalf("contended run attributed nothing: %+v", mean.Blame)
+	}
+	if mean.SLO == nil || mean.SLO.Admissions == 0 {
+		t.Fatal("SLO monitor recorded no admissions")
+	}
+	var sb strings.Builder
+	meta := rdasched.ObsReportMeta{Workload: w.Name, Policy: "strict", Procs: []string{"p", "p", "p", "p"}}
+	if err := rdasched.WriteObservabilityHTML(&sb, meta, mean.Blame, mean.SLO); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `id="rda-data"`) {
+		t.Fatal("HTML report is missing the embedded data payload")
 	}
 }
 

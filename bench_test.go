@@ -19,6 +19,7 @@ import (
 	"rdasched/internal/perf"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
+	"rdasched/internal/telemetry/blame"
 	"rdasched/internal/workloads"
 )
 
@@ -323,16 +324,19 @@ func BenchmarkAblationTaskPoolParking(b *testing.B) {
 // observation; the measured numbers themselves are identical either way.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	w := proc.ScaleInstr(workloads.StreamingMix(pp.MB(0.5)), 0.1)
-	for _, on := range []bool{false, true} {
-		name := "disabled"
-		if on {
-			name = "enabled"
-		}
-		b.Run(name, func(b *testing.B) {
-			rc := perf.RunConfig{
-				Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
-				Telemetry: on, Trace: on,
-			}
+	configs := []struct {
+		name string
+		rc   perf.RunConfig
+	}{
+		{"disabled", perf.RunConfig{}},
+		{"enabled", perf.RunConfig{Telemetry: true, Trace: true}},
+		{"blame", perf.RunConfig{Telemetry: true, Trace: true, Blame: true}},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			rc := c.rc
+			rc.Machine = machine.DefaultConfig()
+			rc.Policy = core.StrictPolicy{}
 			for i := 0; i < b.N; i++ {
 				if _, _, err := perf.Run(w, rc); err != nil {
 					b.Fatal(err)
@@ -340,4 +344,33 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBlameAttribution measures the wait-attribution engine on the
+// E8 skewed workload: the full contended run with the blame collector
+// and SLO monitor attached, reporting how many picoseconds of wait each
+// iteration attributed. The conservation check runs every iteration, so
+// this doubles as a hot-loop validation of the invariant.
+func BenchmarkBlameAttribution(b *testing.B) {
+	slo := blame.DefaultSLOConfig()
+	w := proc.ScaleInstr(experiments.ObserveSkewed(), 0.1)
+	rc := perf.RunConfig{
+		Machine: machine.DefaultConfig(), Policy: core.StrictPolicy{},
+		Blame: true, SLO: &slo,
+	}
+	var attributed float64
+	for i := 0; i < b.N; i++ {
+		m, _, err := perf.Run(w, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Blame == nil {
+			b.Fatal("no blame report")
+		}
+		if err := m.Blame.Check(); err != nil {
+			b.Fatal(err)
+		}
+		attributed = float64(m.Blame.TotalBlamed)
+	}
+	b.ReportMetric(attributed, "blamed-ps/run")
 }

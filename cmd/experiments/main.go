@@ -23,6 +23,7 @@ import (
 
 	"rdasched/internal/core"
 	"rdasched/internal/experiments"
+	"rdasched/internal/profutil"
 	"rdasched/internal/report"
 	"rdasched/internal/workloads"
 )
@@ -32,7 +33,7 @@ func main() {
 		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
 		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, factor, or waits")
-		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission), e5 (overload: governor vs static policies), e6 (multi-domain placement), or e7 (heal: shard failure recovery)")
+		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission), e5 (overload: governor vs static policies), e6 (multi-domain placement), e7 (heal: shard failure recovery), or e8 (observe: causal wait attribution)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
 		reps     = flag.Int("reps", 4, "repetitions per measurement")
@@ -41,6 +42,9 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent replications (output is identical for any value)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 		traceDir = flag.String("trace-dir", "", "write one Chrome/Perfetto trace-event JSON file per measured cell into this directory")
+		obsDir   = flag.String("obs-dir", "", "write one self-contained HTML observability report (blame matrix, critical path, SLO burn rate) per measured cell into this directory")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of this process to the file")
+		memProf  = flag.String("memprofile", "", "write a heap profile of this process to the file on exit")
 		metrics  = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after harnesses that collect one (e4, e5, waits)")
 		governor = flag.Bool("governor", false, "attach the adaptive admission governor to every scheduled cell (e5 configures its own)")
 	)
@@ -53,6 +57,11 @@ func main() {
 	opt.Seed = *seed
 	opt.Jobs = *jobs
 	opt.TraceDir = *traceDir
+	opt.ObsDir = *obsDir
+	stopProf, err := profutil.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
 	if *governor {
 		cfg := core.DefaultGovernorConfig()
 		opt.Governor = &cfg
@@ -238,8 +247,20 @@ func main() {
 				}
 				return nil
 			})
+		case "e8", "observe":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunObserve(opt)
+				if err != nil {
+					return err
+				}
+				emit(res.Table())
+				if *metrics {
+					return res.Telemetry.WritePrometheus(os.Stdout)
+				}
+				return nil
+			})
 		default:
-			fatal(fmt.Errorf("unknown experiment %q (have e4, e5, e6, e7)", name))
+			fatal(fmt.Errorf("unknown experiment %q (have e4, e5, e6, e7, e8)", name))
 		}
 	}
 
@@ -261,6 +282,7 @@ func main() {
 		addExperiment("e5")
 		addExperiment("e6")
 		addExperiment("e7")
+		addExperiment("e8")
 	case *table != 0:
 		addTable(*table)
 	case *fig != 0:
@@ -276,8 +298,12 @@ func main() {
 
 	for _, task := range tasks {
 		if err := task(); err != nil {
+			stopProf() // best effort: flush the CPU profile before exiting
 			fatal(err)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rdasched/internal/core"
 	"rdasched/internal/experiments"
@@ -23,8 +24,10 @@ import (
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
 	"rdasched/internal/proc"
+	"rdasched/internal/profutil"
 	"rdasched/internal/report"
 	"rdasched/internal/sim"
+	"rdasched/internal/telemetry/blame"
 	"rdasched/internal/telemetry/trace"
 	"rdasched/internal/workloads"
 )
@@ -47,8 +50,22 @@ func main() {
 		governor  = flag.Bool("governor", false, "attach the adaptive admission governor (policy degradation, misdeclaration quarantine, waitlist aging)")
 		domains   = flag.Int("domains", 0, "shard the LLC into N admission domains with demand-aware placement and cross-domain steal (0 = unsharded)")
 		domFaults = flag.Float64("domain-faults", 0, "crash admission domain 0 at this many virtual seconds (healing at 2x) and evacuate its periods; needs -domains >= 2")
+		obsDir    = flag.String("obs-dir", "", "write a self-contained HTML observability report (blame matrix, critical path, SLO burn rate) into this directory; needs a scheduling policy")
+		sloMS     = flag.Float64("slo-ms", 0, "admission-latency SLO objective in virtual milliseconds for the -obs-dir report (0 = default 50ms)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of this process to the file")
+		memProf   = flag.String("memprofile", "", "write a heap profile of this process to the file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profutil.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "rdasched:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("Table 2 workloads:")
@@ -103,6 +120,17 @@ func main() {
 	if *domains >= 1 && pol == nil {
 		fatal(fmt.Errorf("-domains needs a scheduling policy (-policy strict or compromise)"))
 	}
+	if *obsDir != "" {
+		if pol == nil {
+			fatal(fmt.Errorf("-obs-dir needs a scheduling policy (-policy strict or compromise)"))
+		}
+		rc.Blame = true
+		slo := blame.DefaultSLOConfig()
+		if *sloMS > 0 {
+			slo.Objective = sim.Duration(*sloMS * float64(sim.Millisecond))
+		}
+		rc.SLO = &slo
+	}
 	if *domFaults > 0 {
 		if *domains < 2 {
 			fatal(fmt.Errorf("-domain-faults needs -domains >= 2 (a crashed shard needs a survivor to evacuate to)"))
@@ -127,6 +155,11 @@ func main() {
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, mean.Spans); err != nil {
+			fatal(err)
+		}
+	}
+	if *obsDir != "" {
+		if err := writeObsReport(*obsDir, w, *policy, mean); err != nil {
 			fatal(err)
 		}
 	}
@@ -156,6 +189,35 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// writeObsReport renders the run's blame/SLO measurement as one
+// self-contained HTML file under dir, named after workload and policy.
+func writeObsReport(dir string, w proc.Workload, policy string, m perf.Metrics) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := blame.ReportMeta{Workload: w.Name, Policy: policy}
+	for _, s := range w.Procs {
+		meta.Procs = append(meta.Procs, s.Name)
+	}
+	rpt := m.Blame
+	if rpt == nil {
+		rpt = &blame.Report{}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%s.html", w.Name, policy))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = blame.WriteHTML(f, meta, rpt, m.SLO)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintln(os.Stderr, "rdasched: wrote", path)
+	}
+	return err
 }
 
 // writeTrace exports the spans of a measured run as a Chrome trace-event

@@ -179,10 +179,16 @@ type Clock func() sim.Time
 // SetClock binds the timestamp source (typically machine.Now).
 func (s *Scheduler) SetClock(c Clock) { s.clock = c }
 
-// AddSink subscribes a sink to the decision stream.
+// AddSink subscribes a sink to the decision stream. Sinks that also
+// implement BlameSink (blame.go) additionally receive the blocker
+// snapshot on every deny.
 func (s *Scheduler) AddSink(sink EventSink) {
-	if sink != nil {
-		s.sinks = append(s.sinks, sink)
+	if sink == nil {
+		return
+	}
+	s.sinks = append(s.sinks, sink)
+	if bs, ok := sink.(BlameSink); ok {
+		s.blameSinks = append(s.blameSinks, bs)
 	}
 }
 
@@ -283,6 +289,9 @@ func (s *Scheduler) emit(kind EventKind, per *period, key periodKey, d pp.Demand
 	}
 	for _, sink := range s.sinks {
 		sink.Record(e)
+	}
+	if kind == EventDeny && len(s.blameSinks) > 0 {
+		s.snapshotBlockers(e)
 	}
 	if s.met != nil {
 		s.observeMetrics(per, e)

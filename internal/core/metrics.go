@@ -69,10 +69,10 @@ const (
 	// Prometheus-style names, so the domain index is part of the name.
 	MetricDomainPlacements = "rda_domain_placements_total"   // periods assigned by the demand-aware placer
 	MetricDomainSteals     = "rda_domain_steals_total"       // aged waiters migrated cross-domain
-	MetricDomainLoadBytes  = "rda_domain_load_bytes"         // + "_<idx>": end-of-run LLC load per domain
-	MetricDomainPeakBytes  = "rda_domain_peak_bytes"         // + "_<idx>": peak LLC load per domain
-	MetricDomainWaitlist   = "rda_domain_waitlist_periods"   // + "_<idx>": end-of-run waitlist depth per domain
-	MetricDomainAdmitted   = "rda_domain_admitted_total"     // + "_<idx>": periods admitted per domain
+	MetricDomainLoadBytes  = "rda_domain_load_bytes"       // + "_<idx>": end-of-run LLC load per domain
+	MetricDomainPeakBytes  = "rda_domain_peak_bytes"       // + "_<idx>": peak LLC load per domain
+	MetricDomainWaitlist   = "rda_domain_waitlist_periods" // + "_<idx>": end-of-run waitlist depth per domain
+	MetricDomainAdmitted   = "rda_domain_admitted"         // + "_<idx>_total": periods admitted per domain (the index precedes _total so the counter keeps its conventional suffix)
 
 	// Recovery counters and the time-to-recover histogram, published by
 	// DomainSet.PublishStats when EnableRecovery was called

@@ -115,6 +115,13 @@ type Scheduler struct {
 	ring  *EventRing
 	met   *schedMetrics
 
+	// Blame sinks (blame.go): the subset of sinks that also take the
+	// blocker snapshot on every deny. blameBuf is the reused snapshot
+	// scratch so an attached blame sink costs one sort per deny, not an
+	// allocation; empty blameSinks keeps the deny path allocation-free.
+	blameSinks []BlameSink
+	blameBuf   []Blocker
+
 	// Sharding hooks (domain.go). A DomainSet runs several shard
 	// schedulers behind one gate: idSrc, when set, allocates admission
 	// IDs from a set-wide counter so IDs stay unique across shards

@@ -19,6 +19,7 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
 	"rdasched/internal/runner"
+	"rdasched/internal/telemetry/blame"
 	"rdasched/internal/telemetry/trace"
 )
 
@@ -51,8 +52,20 @@ type Options struct {
 	// per cell (named after the cell label) into the directory, loadable
 	// in Perfetto or chrome://tracing. Implies Telemetry. Files are
 	// written in cell order with virtual-clock timestamps only, so a
-	// trace is bit-identical for every Jobs value.
+	// trace is bit-identical for every Jobs value. With ObsDir also set,
+	// traces additionally carry the SLO burn-rate counter tracks.
 	TraceDir string
+	// ObsDir, when non-empty, subscribes the causal wait-attribution
+	// collector and an admission-latency SLO monitor to every scheduled
+	// replication and writes one self-contained HTML observability
+	// report per cell (interference heatmap, wait-blame top-K table,
+	// burn-rate timeline) into the directory. Implies Telemetry; like
+	// TraceDir, the reports ride the virtual clock only and are
+	// bit-identical for every Jobs value.
+	ObsDir string
+	// SLO overrides the admission-latency objective ObsDir evaluates
+	// (nil selects blame.DefaultSLOConfig).
+	SLO *blame.SLOConfig
 	// Governor, when non-nil and enabled, attaches the adaptive
 	// admission governor to every scheduled cell (cells running the
 	// Linux default policy have no scheduler and are unaffected). The
@@ -123,8 +136,14 @@ func measure(cells []cell, opt Options) ([]measured, error) {
 		c := cells[jobCell[i]]
 		rc := c.rc
 		rc.Seed = runner.Seed(opt.Seed, uint64(i))
-		rc.Telemetry = rc.Telemetry || opt.Telemetry || opt.TraceDir != ""
+		rc.Telemetry = rc.Telemetry || opt.Telemetry || opt.TraceDir != "" || opt.ObsDir != ""
 		rc.Trace = rc.Trace || opt.TraceDir != ""
+		if opt.ObsDir != "" && rc.Policy != nil {
+			rc.Blame = true
+			if rc.SLO == nil {
+				rc.SLO = opt.sloConfig()
+			}
+		}
 		if rc.Governor == nil && opt.Governor != nil && rc.Policy != nil {
 			rc.Governor = opt.Governor
 		}
@@ -153,7 +172,22 @@ func measure(cells []cell, opt Options) ([]measured, error) {
 			return nil, err
 		}
 	}
+	if opt.ObsDir != "" {
+		if err := writeObsReports(cells, out, opt.ObsDir); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
+}
+
+// sloConfig returns the admission-latency objective ObsDir evaluates.
+func (o Options) sloConfig() *blame.SLOConfig {
+	if o.SLO != nil {
+		cfg := *o.SLO
+		return &cfg
+	}
+	cfg := blame.DefaultSLOConfig()
+	return &cfg
 }
 
 // traceFileName derives a cell's trace file name from its label:
@@ -177,6 +211,9 @@ func traceFileName(label string) string {
 }
 
 // writeTraces exports one Chrome trace file per cell, in cell order.
+// Cells that also carry an SLO evaluation (ObsDir runs) get the
+// burn-rate counter tracks alongside the spans; without one the file
+// is byte-identical to the historical WriteChrome output.
 func writeTraces(cells []cell, ms []measured, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("experiments: %w", err)
@@ -187,12 +224,60 @@ func writeTraces(cells []cell, ms []measured, dir string) error {
 		if err != nil {
 			return fmt.Errorf("experiments: %w", err)
 		}
-		err = trace.WriteChrome(f, ms[ci].Mean.Spans)
+		if slo := ms[ci].Mean.SLO; slo != nil {
+			err = trace.WriteChromeWithCounters(f, ms[ci].Mean.Spans, slo.TraceCounters())
+		} else {
+			err = trace.WriteChrome(f, ms[ci].Mean.Spans)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return fmt.Errorf("experiments: trace %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// obsMeta labels a cell's HTML report: the policy from the run config
+// (nil is the Linux default, which has no scheduler and an empty
+// report) and process names from the workload, in workload order —
+// the decision stream's Proc is the workload process index.
+func obsMeta(c cell) blame.ReportMeta {
+	pol := "default"
+	if c.rc.Policy != nil {
+		pol = c.rc.Policy.Name()
+	}
+	meta := blame.ReportMeta{Workload: c.w.Name, Policy: pol}
+	for _, s := range c.w.Procs {
+		meta.Procs = append(meta.Procs, s.Name)
+	}
+	return meta
+}
+
+// writeObsReports exports one self-contained HTML observability report
+// per cell, in cell order, named after the cell label.
+func writeObsReports(cells []cell, ms []measured, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for ci := range cells {
+		rpt := ms[ci].Mean.Blame
+		if rpt == nil {
+			rpt = &blame.Report{}
+		}
+		name := strings.TrimSuffix(traceFileName(cells[ci].label), ".json") + ".html"
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		err = blame.WriteHTML(f, obsMeta(cells[ci]), rpt, ms[ci].Mean.SLO)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("experiments: report %s: %w", path, err)
 		}
 	}
 	return nil

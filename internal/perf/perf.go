@@ -17,6 +17,7 @@ import (
 	"rdasched/internal/runner"
 	"rdasched/internal/sim"
 	"rdasched/internal/telemetry"
+	"rdasched/internal/telemetry/blame"
 	"rdasched/internal/telemetry/trace"
 )
 
@@ -89,6 +90,15 @@ type Metrics struct {
 	// spans concatenated in repetition order, each stamped with its
 	// repetition index.
 	Spans []trace.Span `json:"-"`
+	// Blame is the run's causal wait-attribution report
+	// (RunConfig.Blame): interference matrix, per-period blame
+	// timeline, and critical-path decomposition. On an aggregate,
+	// repetitions merge in repetition order with Rep-stamped timelines.
+	Blame *blame.Report `json:"-"`
+	// SLO is the admission-latency SLO evaluation (RunConfig.SLO):
+	// breach counts and the multi-window burn-rate timeline. Aggregates
+	// merge in repetition order like Blame.
+	SLO *blame.SLOResult `json:"-"`
 }
 
 // RunConfig describes one measured configuration.
@@ -153,6 +163,16 @@ type RunConfig struct {
 	// Trace subscribes a span collector to each repetition's decision
 	// stream (Metrics.Spans).
 	Trace bool
+	// Blame subscribes the causal wait-attribution collector
+	// (internal/telemetry/blame) to each repetition's decision stream
+	// (Metrics.Blame). With Telemetry also set, the rda_blame_* families
+	// publish into the repetition's registry. Only meaningful with a
+	// non-nil Policy.
+	Blame bool
+	// SLO, when non-nil, attaches an admission-latency SLO monitor with
+	// multi-window burn-rate alerting (Metrics.SLO; rda_slo_* families
+	// with Telemetry). Only meaningful with a non-nil Policy.
+	SLO *blame.SLOConfig
 	// Jobs fans repetitions out across a worker pool (internal/runner);
 	// <= 1 runs them serially. Results are bit-identical for every
 	// value: each repetition is a pure function of (w, rc, rep), and
@@ -282,6 +302,8 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	m := machine.New(cfg, gate)
 	var reg *telemetry.Registry
 	var col *trace.Collector
+	var bcol *blame.Collector
+	var smon *blame.SLOMonitor
 	if schd != nil {
 		schd.SetWaker(m)
 		schd.SetClock(m.Now)
@@ -298,6 +320,18 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		if rc.Trace {
 			col = trace.NewCollector()
 			schd.AddSink(col)
+		}
+		if rc.Blame {
+			bcol = blame.NewCollector()
+			schd.AddSink(bcol)
+		}
+		if rc.SLO != nil {
+			var err error
+			smon, err = blame.NewSLOMonitor(*rc.SLO)
+			if err != nil {
+				return Metrics{}, err
+			}
+			schd.AddSink(smon)
 		}
 	}
 	if dset != nil && rc.Faults != nil && len(rc.Faults.DomainFaults) > 0 {
@@ -334,6 +368,19 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	if col != nil {
 		spans = col.Spans()
 	}
+	var brpt *blame.Report
+	if bcol != nil {
+		// Finish after Quiesce: the reclaim/wake cascade it triggers is
+		// part of the run, and still-open waits close at quiesce time.
+		bcol.Finish(m.Now())
+		brpt = bcol.Report()
+		brpt.Publish(reg)
+	}
+	var slo *blame.SLOResult
+	if smon != nil {
+		slo = smon.Result()
+		slo.Publish(reg)
+	}
 	var dst core.DomainStats
 	var rst core.RecoveryStats
 	if dset != nil {
@@ -343,6 +390,8 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	return Metrics{
 		Telemetry: reg,
 		Spans:     spans,
+		Blame:     brpt,
+		SLO:       slo,
 
 		SystemJ:       res.SystemJ,
 		DRAMJ:         res.DRAMJ,
@@ -490,6 +539,24 @@ func Aggregate(samples []Metrics) (mean, stddev Metrics, err error) {
 		for _, sp := range s.Spans {
 			sp.Rep = rep
 			mean.Spans = append(mean.Spans, sp)
+		}
+		if s.Blame != nil {
+			for i := range s.Blame.Periods {
+				s.Blame.Periods[i].Rep = rep
+			}
+			if mean.Blame == nil {
+				mean.Blame = &blame.Report{}
+			}
+			mean.Blame.Merge(s.Blame)
+		}
+		if s.SLO != nil {
+			for i := range s.SLO.Samples {
+				s.SLO.Samples[i].Rep = rep
+			}
+			if mean.SLO == nil {
+				mean.SLO = &blame.SLOResult{}
+			}
+			mean.SLO.Merge(s.SLO)
 		}
 	}
 	for _, s := range samples {

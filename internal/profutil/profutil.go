@@ -1,0 +1,61 @@
+// Package profutil wires runtime/pprof CPU and heap profiling into the
+// CLIs: one Start call after flag parsing, one Stop before exit. It
+// profiles the simulator itself (the Go process), not the simulated
+// machine — use it to find hot spots in the scheduler, the event
+// engine, or the blame attribution path.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either may be empty to skip that profile. The returned stop
+// function finishes both and must be called exactly once (defer it
+// right after a successful Start). On error nothing is left running
+// and partial files are removed.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			os.Remove(cpuPath)
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("profutil: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profutil: %w", err)
+				}
+				return first
+			}
+			// Up-to-date allocation stats, like net/http/pprof does
+			// before writing the heap profile.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profutil: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profutil: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

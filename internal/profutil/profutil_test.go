@@ -1,0 +1,93 @@
+package profutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles: both profile files exist and are non-empty
+// after a profiled stretch of work — the smoke the CLI flags rely on.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate and spin briefly so both profiles have something to say.
+	sink := 0
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		sink += int(buf[i]) + i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartCPUOnly and TestStartMemOnly: each path is optional.
+func TestStartCPUOnly(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(cpu, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
+		t.Fatalf("cpu profile missing or empty: %v", err)
+	}
+}
+
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+// TestStartNothing: empty paths are a no-op pair.
+func TestStartNothing(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartBadPath: an uncreatable CPU path fails cleanly, leaving no
+// profile running (a second Start must succeed).
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Fatal("Start with uncreatable path succeeded")
+	}
+	stop, err := Start(filepath.Join(t.TempDir(), "cpu.pprof"), "")
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package blame
+
+import (
+	"strings"
+	"testing"
+
+	"rdasched/internal/core"
+	"rdasched/internal/pp"
+	"rdasched/internal/sim"
+	"rdasched/internal/telemetry"
+)
+
+func admission(at sim.Time, wait sim.Duration) core.Event {
+	return core.Event{At: at, Kind: core.EventWake, ID: 1, Wait: wait,
+		Demand: pp.Demand{WorkingSet: pp.MiB}}
+}
+
+func testCfg() SLOConfig {
+	return SLOConfig{
+		Objective: 10 * sim.Millisecond,
+		Target:    0.5,
+		Windows:   []sim.Duration{sim.Second},
+		AlertBurn: 1.5,
+	}
+}
+
+func TestSLOValidate(t *testing.T) {
+	bad := []SLOConfig{
+		{Objective: -1, Target: 0.5, Windows: []sim.Duration{1}, AlertBurn: 1},
+		{Target: 0, Windows: []sim.Duration{1}, AlertBurn: 1},
+		{Target: 1, Windows: []sim.Duration{1}, AlertBurn: 1},
+		{Target: 0.5, AlertBurn: 1},
+		{Target: 0.5, Windows: []sim.Duration{0}, AlertBurn: 1},
+		{Target: 0.5, Windows: []sim.Duration{1}, AlertBurn: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated but should not: %+v", i, cfg)
+		}
+	}
+	if err := DefaultSLOConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+// TestSLOBreachCounting: waits over the objective are breaches; burn
+// is the bad fraction over the error budget.
+func TestSLOBreachCounting(t *testing.T) {
+	m, err := NewSLOMonitor(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(admission(0, 0))
+	m.Record(admission(sim.Time(sim.Millisecond), 20*sim.Millisecond))
+	m.Record(core.Event{At: sim.Time(2 * sim.Millisecond), Kind: core.EventDeny}) // not an admission
+	r := m.Result()
+	if r.Admissions != 2 || r.Breaches != 1 {
+		t.Fatalf("admissions %d breaches %d, want 2/1", r.Admissions, r.Breaches)
+	}
+	// bad frac 1/2 over budget 1/2 → burn 1.0
+	if got := r.Samples[1].Burn[0]; got != 1.0 {
+		t.Fatalf("burn %v, want 1.0", got)
+	}
+}
+
+// TestSLOAlertEdgeTriggered: a sustained breach run fires one alert,
+// recovery re-arms it, a second run fires again.
+func TestSLOAlertEdgeTriggered(t *testing.T) {
+	m, err := NewSLOMonitor(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 ms spacing against the 1 s window: ten samples fill a window,
+	// so good stretches actually evict the bad ones.
+	at := sim.Time(0)
+	step := func(wait sim.Duration, n int) {
+		for i := 0; i < n; i++ {
+			at += sim.Time(100 * sim.Millisecond)
+			m.Record(admission(at, wait))
+		}
+	}
+	step(20*sim.Millisecond, 5) // all bad: burn 2.0 ≥ 1.5 → alert
+	step(0, 20)                 // bad samples age out → burn 0 → re-arm
+	step(20*sim.Millisecond, 20)
+	r := m.Result()
+	if r.Alerts != 2 {
+		t.Fatalf("alerts %d, want 2 (edge-triggered re-fire)", r.Alerts)
+	}
+	if r.MaxBurn[0] != 2.0 {
+		t.Fatalf("max burn %v, want 2.0", r.MaxBurn[0])
+	}
+}
+
+// TestSLOWindowEviction: samples older than the window stop counting.
+func TestSLOWindowEviction(t *testing.T) {
+	m, err := NewSLOMonitor(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(admission(0, 20*sim.Millisecond))     // bad, burn 2.0
+	m.Record(admission(sim.Time(5*sim.Second), 0)) // 5s later: old sample evicted
+	r := m.Result()
+	if got := r.Samples[1].Burn[0]; got != 0 {
+		t.Fatalf("burn after eviction %v, want 0", got)
+	}
+}
+
+// TestSLOMergeAndPublish: merged results add counts, max burns, and
+// publish additive counter families.
+func TestSLOMergeAndPublish(t *testing.T) {
+	mk := func(wait sim.Duration) *SLOResult {
+		m, err := NewSLOMonitor(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Record(admission(0, wait))
+		return m.Result()
+	}
+	var agg SLOResult
+	agg.Merge(mk(0))
+	agg.Merge(mk(20 * sim.Millisecond))
+	if agg.Admissions != 2 || agg.Breaches != 1 || agg.MaxBurn[0] != 2.0 {
+		t.Fatalf("merged %+v", agg)
+	}
+	reg := telemetry.NewRegistry()
+	agg.Publish(reg)
+	if got := reg.Counter(MetricSLOAdmissions).Value(); got != 2 {
+		t.Fatalf("published admissions %d, want 2", got)
+	}
+	if got := reg.Gauge(MetricSLOBurnPrefix + "0").Value(); got != 2.0 {
+		t.Fatalf("published burn gauge %v, want 2.0", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{MetricSLOAdmissions, MetricSLOBreaches, MetricSLOAlerts} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestSLOTraceCounters: one counter sample per (admission, window),
+// grouped by replication pid.
+func TestSLOTraceCounters(t *testing.T) {
+	m, err := NewSLOMonitor(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(admission(0, 0))
+	m.Record(admission(1, 20*sim.Millisecond))
+	cs := m.Result().TraceCounters()
+	if len(cs) != 2 {
+		t.Fatalf("got %d counters, want 2", len(cs))
+	}
+	if cs[0].Name != "slo_burn_w0" || cs[1].Value != 1.0 {
+		t.Fatalf("counters %+v", cs)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 )
 
 // Exposition encoders. Both iterate instruments in sorted-name order
@@ -37,8 +39,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var cum uint64
 		for _, b := range h.Buckets() {
 			cum += b.Count
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
-				name, fnum(b.UpperBound), cum); err != nil {
+			// The overflow bucket (frexp exponent past the float64 range)
+			// has an infinite upper bound; its count belongs to the
+			// mandatory +Inf line below, and emitting it here would
+			// duplicate that series.
+			if math.IsInf(b.UpperBound, 1) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				name, labelEscaper.Replace(fnum(b.UpperBound)), cum); err != nil {
 				return err
 			}
 		}
@@ -53,6 +62,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // fnum formats a float with the shortest representation that
 // round-trips, matching Prometheus client conventions.
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelEscaper escapes a label value exactly as the text exposition
+// format (version 0.0.4) specifies: backslash, double quote, and
+// newline, nothing else. Go's %q verb escapes a superset (tabs,
+// non-printables, non-ASCII) in Go syntax, which a strict Prometheus
+// parser is not required to accept; for the numeric le values emitted
+// today the two agree byte for byte, so swapping the escaper changed no
+// exposition output.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 // jsonHistogram is the JSON shape of one histogram.
 type jsonHistogram struct {
@@ -90,7 +108,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		}
 		for _, b := range h.Buckets() {
-			jh.Buckets = append(jh.Buckets, jsonBucket{LE: b.UpperBound, Count: b.Count})
+			le := b.UpperBound
+			// JSON has no +Inf literal (encoding/json rejects it), so the
+			// overflow bucket's boundary is clamped to the largest finite
+			// float — still an upper bound for everything in the bucket.
+			if math.IsInf(le, 1) {
+				le = math.MaxFloat64
+			}
+			jh.Buckets = append(jh.Buckets, jsonBucket{LE: le, Count: b.Count})
 		}
 		hists[name] = jh
 	}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lint audits the registry against the Prometheus text-exposition
+// conventions the encoders assume, so a malformed family name fails a
+// test instead of surfacing as an unscrapable exposition:
+//
+//   - every instrument name matches the metric-name grammar
+//     [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - counters end in _total; gauges and histograms do not (the suffix
+//     is reserved for counters by convention)
+//   - no name is registered as more than one instrument kind
+//   - no instrument collides with a histogram's derived _bucket, _sum,
+//     or _count series, and no histogram name itself ends in one of
+//     those reserved suffixes
+//
+// The returned slice is sorted by message and empty for a clean
+// registry.
+func (r *Registry) Lint() []error {
+	var errs []error
+	lintNames := func(kind string, names []string) {
+		for _, name := range names {
+			if !metricNameRE.MatchString(name) {
+				errs = append(errs, fmt.Errorf("%s %q: invalid metric name", kind, name))
+			}
+			if kind == "counter" && !strings.HasSuffix(name, "_total") {
+				errs = append(errs, fmt.Errorf("counter %q: missing the conventional _total suffix", name))
+			}
+			if kind != "counter" && strings.HasSuffix(name, "_total") {
+				errs = append(errs, fmt.Errorf("%s %q: the _total suffix is reserved for counters", kind, name))
+			}
+		}
+	}
+	lintNames("counter", r.counterNames())
+	lintNames("gauge", r.gaugeNames())
+	lintNames("histogram", r.histNames())
+
+	kinds := map[string][]string{}
+	for _, name := range r.counterNames() {
+		kinds[name] = append(kinds[name], "counter")
+	}
+	for _, name := range r.gaugeNames() {
+		kinds[name] = append(kinds[name], "gauge")
+	}
+	for _, name := range r.histNames() {
+		kinds[name] = append(kinds[name], "histogram")
+	}
+	for name, ks := range kinds {
+		if len(ks) > 1 {
+			errs = append(errs, fmt.Errorf("%q: registered as %s", name, strings.Join(ks, " and ")))
+		}
+	}
+	for _, name := range r.histNames() {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				errs = append(errs, fmt.Errorf("histogram %q: the %s suffix is reserved for derived series", name, suffix))
+			}
+			if _, ok := kinds[name+suffix]; ok {
+				errs = append(errs, fmt.Errorf("%q: collides with histogram %q's derived %s series", name+suffix, name, suffix))
+			}
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// metricNameRE is the Prometheus metric-name grammar.
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLintClean(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rda_periods_begun_total")
+	r.Gauge("rda_active_periods")
+	r.Histogram("rda_wait_seconds")
+	if errs := r.Lint(); len(errs) != 0 {
+		t.Fatalf("clean registry lints dirty: %v", errs)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("9bad_total")         // invalid first character
+	r.Counter("rda_denied")         // counter without _total
+	r.Gauge("rda_load_total")       // _total on a non-counter
+	r.Histogram("rda_hist_total")   // _total on a non-counter
+	r.Histogram("rda_hist_bucket")  // reserved derived suffix
+	r.Counter("rda_dual_total")     // same name twice, two kinds
+	r.Gauge("rda_dual_total")       //
+	r.Histogram("rda_wait_seconds") // clean histogram...
+	r.Gauge("rda_wait_seconds_sum") // ...whose derived series this shadows
+	wantFragments := []string{
+		`"9bad_total": invalid metric name`,
+		`counter "rda_denied": missing the conventional _total suffix`,
+		`gauge "rda_load_total": the _total suffix is reserved`,
+		`histogram "rda_hist_total": the _total suffix is reserved`,
+		`histogram "rda_hist_bucket": the _bucket suffix is reserved`,
+		`"rda_dual_total": registered as counter and gauge`,
+		`"rda_wait_seconds_sum": collides with histogram "rda_wait_seconds"`,
+	}
+	errs := r.Lint()
+	all := make([]string, len(errs))
+	for i, e := range errs {
+		all[i] = e.Error()
+	}
+	joined := strings.Join(all, "\n")
+	for _, frag := range wantFragments {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("missing violation %q in:\n%s", frag, joined)
+		}
+	}
+}
+
+// TestLintErrorsSorted: the violation list is deterministic regardless
+// of map iteration order.
+func TestLintErrorsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_missing")
+	r.Counter("a_missing")
+	r.Gauge("m_total")
+	for i := 0; i < 10; i++ {
+		errs := r.Lint()
+		if len(errs) != 3 {
+			t.Fatalf("got %d violations, want 3: %v", len(errs), errs)
+		}
+		for j := 1; j < len(errs); j++ {
+			if errs[j-1].Error() > errs[j].Error() {
+				t.Fatalf("violations unsorted: %v", errs)
+			}
+		}
+	}
+}
+
+// --- Histogram and merge edge cases ---
+
+// TestRegistryMergeEmpty: merging an empty (or nil) registry is a
+// no-op, and merging into an empty registry reproduces the source —
+// including histograms, whose Merge short-circuits on zero counts.
+func TestRegistryMergeEmpty(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("c_total").Add(3)
+	src.Gauge("g").Set(1.5)
+	src.Histogram("h_seconds").Observe(0.25)
+
+	var before strings.Builder
+	if err := src.WritePrometheus(&before); err != nil {
+		t.Fatal(err)
+	}
+	src.Merge(NewRegistry())
+	src.Merge(nil)
+	var after strings.Builder
+	if err := src.WritePrometheus(&after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Fatalf("merging an empty registry changed the exposition:\n%s\nvs\n%s",
+			before.String(), after.String())
+	}
+
+	dst := NewRegistry()
+	dst.Merge(src)
+	var copied strings.Builder
+	if err := dst.WritePrometheus(&copied); err != nil {
+		t.Fatal(err)
+	}
+	if copied.String() != before.String() {
+		t.Fatalf("merge into empty registry diverges:\n%s\nvs\n%s",
+			copied.String(), before.String())
+	}
+}
+
+// TestHistogramOverflowBucket: the largest finite float lands in the
+// bucket whose upper boundary is +Inf. Quantiles clamp to the observed
+// max, the Prometheus exposition emits exactly one le="+Inf" series,
+// and the JSON encoding stays finite (encoding/json rejects +Inf).
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.MaxFloat64)
+	bs := h.Buckets()
+	if len(bs) != 1 || !math.IsInf(bs[0].UpperBound, 1) {
+		t.Fatalf("buckets = %v, want one +Inf-bounded bucket", bs)
+	}
+	if got := h.Quantile(0.99); got != math.MaxFloat64 {
+		t.Fatalf("p99 = %g, want clamp to max %g", got, math.MaxFloat64)
+	}
+
+	r := NewRegistry()
+	r.Histogram("h_seconds").Observe(math.MaxFloat64)
+	r.Histogram("h_seconds").Observe(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	expo := b.String()
+	if got := strings.Count(expo, `le="+Inf"`); got != 1 {
+		t.Fatalf("%d le=\"+Inf\" series, want exactly 1:\n%s", got, expo)
+	}
+	if !strings.Contains(expo, "h_seconds_bucket{le=\"+Inf\"} 2") {
+		t.Fatalf("+Inf bucket does not count the overflow observation:\n%s", expo)
+	}
+	var j strings.Builder
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatalf("JSON encoding with an overflow bucket: %v", err)
+	}
+	if strings.Contains(j.String(), "Inf") {
+		t.Fatalf("non-finite value leaked into JSON:\n%s", j.String())
+	}
+}
+
+// TestMergeRegistrationOrderDeterminism: two registries holding the
+// same instruments registered in opposite orders merge into
+// byte-identical expositions — iteration is by sorted name, never by
+// registration or map order.
+func TestMergeRegistrationOrderDeterminism(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for i, n := range names {
+			r.Counter(n + "_total").Add(uint64(i + 1))
+			r.Gauge(n + "_gauge").Set(float64(i))
+			h := r.Histogram(n + "_seconds")
+			h.Observe(float64(i) + 0.5)
+			h.Observe(float64(i) * 2)
+		}
+		return r
+	}
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	reversed := []string{"delta", "gamma", "beta", "alpha"}
+
+	m1 := NewRegistry()
+	m1.Merge(build(names))
+	m1.Merge(build(reversed))
+	m2 := NewRegistry()
+	m2.Merge(build(reversed))
+	m2.Merge(build(names))
+
+	var b1, b2 strings.Builder
+	if err := m1.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("registration order leaked into the merged exposition:\n%s\nvs\n%s",
+			b1.String(), b2.String())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"rdasched/internal/sim"
 )
 
 // Chrome trace-event export. The format is the JSON object form of the
@@ -98,13 +100,49 @@ func chromeEvents(spans []Span) []chromeEvent {
 	return events
 }
 
+// Counter is one sample on a Perfetto counter track (a ph:"C" event).
+// The SLO burn-rate timeline exports this way so burn renders as a
+// graph above the decision spans.
+type Counter struct {
+	// Name is the track name; samples sharing a (Pid, Name) pair form
+	// one track.
+	Name string
+	// At is the sample's virtual timestamp.
+	At sim.Time
+	// Value is the sampled value.
+	Value float64
+	// Pid groups the track with a span process group (rep*1000 + proc
+	// convention; 0 for run-global tracks).
+	Pid int
+}
+
+// WriteChromeWithCounters writes spans plus counter tracks as one
+// Chrome trace-event JSON object. WriteChrome's encoding is pinned by
+// goldens, so counters extend the document through this separate entry
+// point: with no counters the output is byte-identical to WriteChrome.
+func WriteChromeWithCounters(w io.Writer, spans []Span, counters []Counter) error {
+	events := chromeEvents(spans)
+	for _, c := range counters {
+		events = append(events, chromeEvent{
+			Name: c.Name, Cat: "counter", Ph: "C",
+			Ts: usec(c.At), Pid: c.Pid,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	return writeChromeDoc(w, events)
+}
+
 // WriteChrome writes the spans as a Chrome trace-event JSON object. The
 // encoded bytes are round-trip checked through json.Unmarshal before
 // anything is written, so a non-nil return guarantees w received either
 // nothing or a complete, valid document.
 func WriteChrome(w io.Writer, spans []Span) error {
+	return writeChromeDoc(w, chromeEvents(spans))
+}
+
+func writeChromeDoc(w io.Writer, events []chromeEvent) error {
 	doc := chromeTrace{
-		TraceEvents:     chromeEvents(spans),
+		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
 	}
 	if doc.TraceEvents == nil {

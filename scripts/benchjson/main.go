@@ -1,0 +1,173 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON artifact (BENCH_8.json) and validates such
+// artifacts, so CI can publish and check benchmark numbers with the Go
+// toolchain alone.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./scripts/benchjson -o BENCH_8.json
+//	go run ./scripts/benchjson -check BENCH_8.json
+//
+// The converter reads benchmark result lines of the standard form
+//
+//	BenchmarkName-8   100   123456 ns/op   7 B/op   0 allocs/op   1.5 custom-unit
+//
+// and records every (value, unit) metric pair per benchmark. Context
+// lines (goos/goarch/pkg/cpu) are carried along so the artifact is
+// self-describing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Doc is the BENCH_8.json schema.
+type Doc struct {
+	Version    int               `json:"version"`
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark is one result line: the benchmark name (with the -N procs
+// suffix stripped), its iteration count, and every reported metric.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "", "write the JSON artifact to this file (default stdout)")
+		check = flag.String("check", "", "validate an existing artifact instead of converting")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := validate(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	}
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Version: 1, Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				if key == "pkg" {
+					pkg = v
+				} else {
+					doc.Context[key] = v
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name iterations metric unit [metric unit]... — at least one pair.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		b.Name = fields[0]
+		if i := strings.LastIndex(b.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name, b.Procs = b.Name[:i], procs
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value on %q", line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func validate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return err
+	}
+	if doc.Version != 1 {
+		return fmt.Errorf("unsupported version %d", doc.Version)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks recorded")
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "" || !strings.HasPrefix(b.Name, "Benchmark") {
+			return fmt.Errorf("bad benchmark name %q", b.Name)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("%s: nonpositive iteration count %d", b.Name, b.Iterations)
+		}
+		if _, ok := b.Metrics["ns/op"]; !ok {
+			return fmt.Errorf("%s: no ns/op metric", b.Name)
+		}
+	}
+	fmt.Printf("%s: %d benchmarks, valid\n", path, len(doc.Benchmarks))
+	return nil
+}

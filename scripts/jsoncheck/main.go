@@ -3,13 +3,19 @@
 // present and non-empty. It exists so CI can validate exported traces
 // with the Go toolchain alone.
 //
-// Usage: go run ./scripts/jsoncheck file.json...
+// HTML observability reports (.html) are handled too: the embedded
+// <script type="application/json" id="rda-data"> payload is extracted
+// and validated instead of the document itself.
+//
+// Usage: go run ./scripts/jsoncheck file.json... report.html...
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
+	"strings"
 )
 
 func main() {
@@ -22,14 +28,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: valid JSON\n", path)
 	}
 }
+
+var payloadRE = regexp.MustCompile(
+	`(?s)<script type="application/json" id="rda-data">(.*?)</script>`)
 
 func check(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	if strings.HasSuffix(path, ".html") {
+		m := payloadRE.FindSubmatch(data)
+		if m == nil {
+			return fmt.Errorf("no embedded rda-data JSON payload")
+		}
+		var payload map[string]json.RawMessage
+		if err := json.Unmarshal(m[1], &payload); err != nil {
+			return fmt.Errorf("embedded payload: %w", err)
+		}
+		if _, ok := payload["blame"]; !ok {
+			return fmt.Errorf("embedded payload has no blame section")
+		}
+		fmt.Printf("%s: embedded payload with %d sections\n", path, len(payload))
+		return nil
 	}
 	var doc map[string]json.RawMessage
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -44,6 +67,8 @@ func check(path string) error {
 			return fmt.Errorf("traceEvents is empty")
 		}
 		fmt.Printf("%s: %d trace events\n", path, len(events))
+		return nil
 	}
+	fmt.Printf("%s: valid JSON\n", path)
 	return nil
 }
