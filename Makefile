@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all test race fuzz vet bench experiments chaos govern domains heal observe examples cover clean
+.PHONY: all test race fuzz vet bench experiments chaos govern domains heal observe revive examples cover clean
 
 all: test
 
@@ -27,6 +27,8 @@ fuzz:
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzDomainInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzRecoveryInvariants -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/telemetry/blame -run='^$$' -fuzz=FuzzBlameInvariants -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/persist -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/persist -run='^$$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME)
 
 # Full benchmark sweep, converted by scripts/benchjson into the
 # machine-readable BENCH_8.json artifact (and schema-checked). Raise
@@ -62,6 +64,11 @@ heal:
 observe:
 	$(GO) run ./cmd/experiments -experiment e8 -scale 0.2 -obs-dir /tmp/rda-obs
 	$(GO) run ./scripts/jsoncheck /tmp/rda-obs/*.html
+
+# E9: crash-restart revival — kill, restore from journal+snapshot,
+# resume byte-identical to the unkilled run.
+revive:
+	$(GO) run ./cmd/experiments -experiment e9 -scale 0.2
 
 examples:
 	$(GO) run ./examples/quickstart

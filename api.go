@@ -15,6 +15,7 @@ import (
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
+	"rdasched/internal/persist"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
 	"rdasched/internal/sim"
@@ -198,6 +199,10 @@ var (
 	ErrInvalidDomain = core.ErrInvalidDomain
 	// ErrInvalidRecoveryConfig: a RecoveryConfig EnableRecovery refuses.
 	ErrInvalidRecoveryConfig = core.ErrInvalidRecoveryConfig
+	// ErrHalted: the run died at FaultPlan.KillAt — the error a killed
+	// checkpointed run wraps (errors.Is), leaving the directory behind
+	// for Restore.
+	ErrHalted = machine.ErrHalted
 )
 
 // UniformFaults returns a fault plan injecting every failure mode at the
@@ -230,6 +235,27 @@ type (
 	// RunConfig describes one measured configuration.
 	RunConfig = perf.RunConfig
 )
+
+// Crash-safe persistence: an append-only admission journal plus
+// periodic state snapshots, written while a run executes and restored
+// after a process death so the run resumes byte-identical to one that
+// was never killed. Arm a checkpoint through RunConfig.Checkpoint (with
+// FaultPlan.KillAt for the injected death), then load the directory
+// with Restore and resume through RunConfig.Restore.
+type (
+	// CheckpointConfig selects the checkpoint directory and the virtual
+	// period between state snapshots (0 = journal-only after the attach
+	// snapshot).
+	CheckpointConfig = persist.Config
+	// Restored is a checkpoint loaded back from disk: the reconstructed
+	// scheduler state plus its journal provenance (sequence reached,
+	// snapshot anchor, records replayed, torn-tail truncation).
+	Restored = persist.Restored
+)
+
+// Restore loads the last valid snapshot under dir and replays the
+// journal suffix on top, truncating at the first torn or corrupt frame.
+func Restore(dir string) (*Restored, error) { return persist.Restore(dir) }
 
 // Telemetry (the observability layer): a metrics registry fed by the
 // scheduler's decision path and streamed decision traces. Enable both

@@ -8,6 +8,69 @@ import (
 	"rdasched"
 )
 
+// TestFacadeCheckpointRestore drives the crash-safety surface through
+// the facade alone: checkpoint a run, kill it mid-schedule, Restore the
+// directory, and resume to the same final metrics as an unkilled run.
+func TestFacadeCheckpointRestore(t *testing.T) {
+	kernel := rdasched.Phase{
+		Name:             "kernel",
+		Instr:            1e7,
+		WSS:              rdasched.MB(6.3),
+		Reuse:            rdasched.ReuseHigh,
+		AccessesPerInstr: 0.3,
+		PrivateHitFrac:   0.85,
+		FlopsPerInstr:    0.5,
+		Declared:         true,
+	}
+	var w rdasched.Workload
+	w.Name = "revive"
+	for i := 0; i < 6; i++ {
+		w.Procs = append(w.Procs, rdasched.Spec{
+			Name: "p", Threads: 1, Program: rdasched.Program{kernel},
+		})
+	}
+	rc := rdasched.RunConfig{
+		Machine:     rdasched.DefaultMachine(),
+		Policy:      rdasched.StrictPolicy{},
+		Repetitions: 1,
+		Seed:        42,
+	}
+	base, _, err := rdasched.Run(w, rc)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if base.MaxWaitSec == 0 {
+		t.Fatal("mix forms no waitlist; restore would be trivial")
+	}
+
+	dir := t.TempDir()
+	killAt := rdasched.Duration(base.ElapsedSec / 2 * 1e12) // virtual picoseconds
+	krc := rc
+	krc.Faults = &rdasched.FaultPlan{KillAt: killAt}
+	krc.Checkpoint = &rdasched.CheckpointConfig{Dir: dir, Every: killAt / 3}
+	if _, _, err := rdasched.Run(w, krc); !errors.Is(err, rdasched.ErrHalted) {
+		t.Fatalf("killed run returned %v, want ErrHalted", err)
+	}
+
+	res, err := rdasched.Restore(dir)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if res.Seq == 0 || res.Truncated {
+		t.Fatalf("restored seq %d truncated=%v from a clean kill", res.Seq, res.Truncated)
+	}
+	rrc := rc
+	rrc.Restore = res
+	revived, _, err := rdasched.Run(w, rrc)
+	if err != nil {
+		t.Fatalf("revival: %v", err)
+	}
+	if revived.ElapsedSec != base.ElapsedSec || revived.MaxWaitSec != base.MaxWaitSec {
+		t.Fatalf("revived run (%.6f s, wait %.6f) diverged from baseline (%.6f s, wait %.6f)",
+			revived.ElapsedSec, revived.MaxWaitSec, base.ElapsedSec, base.MaxWaitSec)
+	}
+}
+
 // TestFacadeFigure4 exercises the public facade end to end: describe a
 // kernel the way the paper's Figure 4 does, run it under default and
 // strict, and observe the admission-control effect.

@@ -25,15 +25,34 @@ import (
 	"rdasched/internal/experiments"
 	"rdasched/internal/profutil"
 	"rdasched/internal/report"
+	"rdasched/internal/version"
 	"rdasched/internal/workloads"
 )
+
+// validateFlags rejects out-of-range numeric flags with a clear error
+// instead of silently clamping or misbehaving downstream.
+func validateFlags(scale, jitter float64, reps, jobs int) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("-scale %g out of range (need 0 < scale <= 1)", scale)
+	}
+	if jitter < 0 {
+		return fmt.Errorf("-jitter %g is negative", jitter)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps %d, need at least 1", reps)
+	}
+	if jobs < 1 {
+		return fmt.Errorf("-jobs %d, need at least 1", jobs)
+	}
+	return nil
+}
 
 func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate: 7, 8, 9, 10, 11, 12, or 13")
 		table    = flag.Int("table", 0, "table to regenerate: 1 or 2")
 		ext      = flag.String("ext", "", "extension experiment: partitioning, reserve, bandwidth, calibration, factor, or waits")
-		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission), e5 (overload: governor vs static policies), e6 (multi-domain placement), e7 (heal: shard failure recovery), or e8 (observe: causal wait attribution)")
+		exp      = flag.String("experiment", "", "named experiment: e4 (chaos: fault-injected admission), e5 (overload: governor vs static policies), e6 (multi-domain placement), e7 (heal: shard failure recovery), e8 (observe: causal wait attribution), or e9 (revive: crash-restart checkpoint/restore)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Float64("scale", 1, "shrink phase lengths (0 < scale ≤ 1) for quick runs")
 		reps     = flag.Int("reps", 4, "repetitions per measurement")
@@ -47,8 +66,18 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile of this process to the file on exit")
 		metrics  = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after harnesses that collect one (e4, e5, waits)")
 		governor = flag.Bool("governor", false, "attach the adaptive admission governor to every scheduled cell (e5 configures its own)")
+		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
+	if err := validateFlags(*scale, *jitter, *reps, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	opt := experiments.Defaults()
 	opt.Scale = *scale
@@ -259,8 +288,21 @@ func main() {
 				}
 				return nil
 			})
+		case "e9", "revive":
+			tasks = append(tasks, func() error {
+				res, err := experiments.RunRevive(opt)
+				if err != nil {
+					return err
+				}
+				fmt.Println(version.String())
+				emit(res.Table())
+				if *metrics {
+					return res.Telemetry.WritePrometheus(os.Stdout)
+				}
+				return nil
+			})
 		default:
-			fatal(fmt.Errorf("unknown experiment %q (have e4, e5, e6, e7, e8)", name))
+			fatal(fmt.Errorf("unknown experiment %q (have e4, e5, e6, e7, e8, e9)", name))
 		}
 	}
 
@@ -283,6 +325,7 @@ func main() {
 		addExperiment("e6")
 		addExperiment("e7")
 		addExperiment("e8")
+		addExperiment("e9")
 	case *table != 0:
 		addTable(*table)
 	case *fig != 0:

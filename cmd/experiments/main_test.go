@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the CLI's numeric-range checks: every rejected
+// combination must fail loudly (the old behaviour silently ignored
+// out-of-range values) and every sane one must pass.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		scale   float64
+		jitter  float64
+		reps    int
+		jobs    int
+		wantErr string // substring; empty means valid
+	}{
+		{"defaults", 1, 0.02, 4, 8, ""},
+		{"quick-run", 0.05, 0, 1, 1, ""},
+		{"scale-zero", 0, 0.02, 4, 1, "-scale"},
+		{"scale-negative", -0.5, 0.02, 4, 1, "-scale"},
+		{"scale-above-one", 2, 0.02, 4, 1, "-scale"},
+		{"jitter-negative", 1, -0.01, 4, 1, "-jitter"},
+		{"reps-zero", 1, 0.02, 0, 1, "-reps"},
+		{"reps-negative", 1, 0.02, -3, 1, "-reps"},
+		{"jobs-zero", 1, 0.02, 4, 0, "-jobs"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.scale, tc.jitter, tc.reps, tc.jobs)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,14 +24,44 @@ import (
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
 	"rdasched/internal/perf"
+	"rdasched/internal/persist"
 	"rdasched/internal/proc"
 	"rdasched/internal/profutil"
 	"rdasched/internal/report"
 	"rdasched/internal/sim"
 	"rdasched/internal/telemetry/blame"
 	"rdasched/internal/telemetry/trace"
+	"rdasched/internal/version"
 	"rdasched/internal/workloads"
 )
+
+// validateFlags rejects out-of-range numeric flags with a clear error.
+// The old behaviour silently ignored an out-of-range -scale, which made
+// `-scale 10` look like a slow full run instead of a typo.
+func validateFlags(scale, jitter float64, reps, jobs int, sloMS, ckptEvery, killAt float64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("-scale %g out of range (need 0 < scale <= 1)", scale)
+	}
+	if jitter < 0 {
+		return fmt.Errorf("-jitter %g is negative", jitter)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps %d, need at least 1", reps)
+	}
+	if jobs < 1 {
+		return fmt.Errorf("-jobs %d, need at least 1", jobs)
+	}
+	if sloMS < 0 {
+		return fmt.Errorf("-slo-ms %g is negative", sloMS)
+	}
+	if ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every %g is negative", ckptEvery)
+	}
+	if killAt < 0 {
+		return fmt.Errorf("-kill-at %g is negative", killAt)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -52,10 +83,24 @@ func main() {
 		domFaults = flag.Float64("domain-faults", 0, "crash admission domain 0 at this many virtual seconds (healing at 2x) and evacuate its periods; needs -domains >= 2")
 		obsDir    = flag.String("obs-dir", "", "write a self-contained HTML observability report (blame matrix, critical path, SLO burn rate) into this directory; needs a scheduling policy")
 		sloMS     = flag.Float64("slo-ms", 0, "admission-latency SLO objective in virtual milliseconds for the -obs-dir report (0 = default 50ms)")
+		ckptDir   = flag.String("checkpoint-dir", "", "append an admission journal and periodic state snapshots into this directory while running; needs a scheduling policy and -reps 1")
+		ckptEvery = flag.Float64("checkpoint-every", 0, "virtual seconds between periodic snapshots under -checkpoint-dir (0 = journal-only after the attach snapshot)")
+		restore   = flag.String("restore", "", "restore the gate from this checkpoint directory and resume the killed run to completion")
+		killAt    = flag.Float64("kill-at", 0, "kill the process at this virtual second (crash injection; pair with -checkpoint-dir, then resume with -restore)")
+		showVer   = flag.Bool("version", false, "print the build identity and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of this process to the file")
 		memProf   = flag.String("memprofile", "", "write a heap profile of this process to the file on exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
+	if err := validateFlags(*scale, *jitter, *reps, *jobs, *sloMS, *ckptEvery, *killAt); err != nil {
+		fmt.Fprintln(os.Stderr, "rdasched:", err)
+		os.Exit(2)
+	}
 
 	stopProf, err := profutil.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -90,7 +135,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *scale > 0 && *scale < 1 {
+	if *scale < 1 { // validated above: 0 < scale <= 1
 		w = proc.ScaleInstr(w, *scale)
 	}
 	var pol core.Policy
@@ -149,8 +194,34 @@ func main() {
 		cfg := core.DefaultGovernorConfig()
 		rc.Governor = &cfg
 	}
+	if *ckptDir != "" {
+		rc.Checkpoint = &persist.Config{Dir: *ckptDir, Every: sim.FromSeconds(*ckptEvery)}
+	}
+	if *killAt > 0 {
+		if rc.Faults == nil {
+			rc.Faults = &faults.Plan{}
+		}
+		rc.Faults.KillAt = sim.FromSeconds(*killAt)
+	}
+	if *restore != "" {
+		res, err := persist.Restore(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		rc.Restore = res
+		rc.Repetitions = 1 // a checkpoint belongs to a single repetition
+		fmt.Fprintf(os.Stderr, "rdasched: restored seq %d (snapshot %d + %d replayed), resuming from %.3fs virtual\n",
+			res.Seq, res.SnapshotSeq, res.Replayed, res.KillAt.Seconds())
+	}
 	mean, sd, err := perf.Run(w, rc)
 	if err != nil {
+		// An armed -kill-at halting the run is the injected crash doing
+		// its job, not a failure: report where the checkpoint landed.
+		if errors.Is(err, machine.ErrHalted) && *ckptDir != "" {
+			fmt.Fprintln(os.Stderr, "rdasched:", err)
+			fmt.Fprintf(os.Stderr, "rdasched: checkpoint preserved; resume with -restore %s\n", *ckptDir)
+			return
+		}
 		fatal(err)
 	}
 	if *tracePath != "" {

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the CLI's numeric-range checks. The -scale
+// check in particular regresses a real bug: the CLI used to apply
+// scaling only when 0 < scale < 1 and silently run the full workload
+// for anything else, so `-scale 10` looked like a very slow quick run.
+func TestValidateFlags(t *testing.T) {
+	type in struct {
+		scale, jitter            float64
+		reps, jobs               int
+		sloMS, ckptEvery, killAt float64
+	}
+	valid := in{scale: 1, jitter: 0.02, reps: 4, jobs: 1}
+	cases := []struct {
+		name    string
+		in      in
+		wantErr string // substring; empty means valid
+	}{
+		{"defaults", valid, ""},
+		{"quick-run", in{scale: 0.05, reps: 1, jobs: 4, sloMS: 25, ckptEvery: 0.5, killAt: 1.5}, ""},
+		{"scale-zero", in{scale: 0, reps: 1, jobs: 1}, "-scale"},
+		{"scale-negative", in{scale: -1, reps: 1, jobs: 1}, "-scale"},
+		{"scale-above-one", in{scale: 10, reps: 1, jobs: 1}, "-scale"},
+		{"jitter-negative", in{scale: 1, jitter: -0.1, reps: 1, jobs: 1}, "-jitter"},
+		{"reps-zero", in{scale: 1, reps: 0, jobs: 1}, "-reps"},
+		{"jobs-zero", in{scale: 1, reps: 1, jobs: 0}, "-jobs"},
+		{"slo-negative", in{scale: 1, reps: 1, jobs: 1, sloMS: -50}, "-slo-ms"},
+		{"checkpoint-every-negative", in{scale: 1, reps: 1, jobs: 1, ckptEvery: -1}, "-checkpoint-every"},
+		{"kill-at-negative", in{scale: 1, reps: 1, jobs: 1, killAt: -2}, "-kill-at"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.in.scale, tc.in.jitter, tc.in.reps, tc.in.jobs,
+				tc.in.sloMS, tc.in.ckptEvery, tc.in.killAt)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantErr)
+			}
+		})
+	}
+}

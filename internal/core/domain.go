@@ -133,6 +133,7 @@ type DomainSet struct {
 	reg      *telemetry.Registry // bound by SetMetrics; recovery histogram source
 	stealing bool                // reentry guard for the steal scan (and Quiesce suppression)
 	stealEv  *sim.Event          // pending not-yet-aged re-scan tick
+	rsink    ReplaySink          // admission journal (replay.go); nil when detached or absent
 
 	// Fault and recovery state; nil until EnableRecovery
 	// (domain_recovery.go).
@@ -306,6 +307,9 @@ func (d *DomainSet) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 		d.domainOf[key] = di
 		d.placements++
 		d.emitDomain(EventPlace, di, key, ph.Demand())
+		d.rrecSet(RecPlace, func(r *ReplayRecord) {
+			r.Set.MapAdd = []PlacementEntry{{Proc: key.procID, Phase: key.phaseIdx, Domain: di}}
+		})
 	}
 	return d.shards[di].EnterPhase(t, phaseIdx, ph)
 }
@@ -329,6 +333,9 @@ func (d *DomainSet) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	s.ExitPhase(t, phaseIdx, ph)
 	if ok && s.active[key] == nil {
 		delete(d.domainOf, key)
+		d.rrecSet(RecUnmap, func(r *ReplayRecord) {
+			r.Set.MapDel = []ProcPhase{{Proc: key.procID, Phase: key.phaseIdx}}
+		})
 	}
 }
 
@@ -517,10 +524,18 @@ func (d *DomainSet) armStealTick(in sim.Duration) {
 	if in < 1 {
 		in = 1 // next engine step, never this instant
 	}
-	d.stealEv = d.timer.After(in, func() {
-		d.stealEv = nil
-		d.stealScan()
-	})
+	d.stealEv = d.timer.After(in, d.stealTick)
+	d.rrecSet(RecStealTick, nil)
+}
+
+// stealTick is the armed re-scan callback. Both the arm and the fire
+// are journaled so a restore reconstructs the pending tick exactly: the
+// fire record clears the persisted StealTickAt (the event is gone), and
+// any re-arm inside stealScan journals the new one.
+func (d *DomainSet) stealTick() {
+	d.stealEv = nil
+	d.rrecSet(RecStealTick, nil)
+	d.stealScan()
 }
 
 // migrate moves a waiter from domain si to di and admits it there;
@@ -560,7 +575,18 @@ func (d *DomainSet) migrate(per *period, si, di int, kind EventKind) {
 	dst.emit(EventWake, per, per.key, per.demands[0])
 	dst.noteWait(per)
 	dst.govWake(per)
+	ws := per.waiters
 	dst.release(per)
+	dst.rrec(RecSteal, per, func(r *ReplayRecord) {
+		r.Src = si
+		r.SrcParkedDel = []int{per.key.procID}
+		for _, t := range ws {
+			r.InsideAdd = append(r.InsideAdd, insideEntry(t.ID(), per.key))
+		}
+		if r.Set != nil {
+			r.Set.MapAdd = append(r.Set.MapAdd, PlacementEntry{Proc: per.key.procID, Phase: per.key.phaseIdx, Domain: di})
+		}
+	})
 }
 
 // emitDomain publishes a placement or steal decision to the set's

@@ -440,11 +440,22 @@ func (s *Scheduler) govScheduleTick() {
 	if d <= 0 {
 		return
 	}
-	g.tickEv = s.timer.After(d, func() {
-		g.tickEv = nil
-		s.govEvaluate(s.now())
-		s.govScheduleTick()
-	})
+	g.tickEv = s.timer.After(d, s.govTick)
+}
+
+// govTick is the armed self-evaluation callback. It journals itself
+// (RecGovTick) so the restored governor carries the post-tick ladder
+// state and the re-armed tick time — a restore never has to normalize
+// an expired-but-unfired tick, because every firing is a record.
+func (s *Scheduler) govTick() {
+	if s.detached {
+		return
+	}
+	g := s.gov
+	g.tickEv = nil
+	s.govEvaluate(s.now())
+	s.govScheduleTick()
+	s.rrec(RecGovTick, nil, nil)
 }
 
 // govEvaluate applies the hysteresis state machine: the level steps one
@@ -565,6 +576,12 @@ func (s *Scheduler) govTightenLeases(now sim.Time) {
 		s.timer.Cancel(per.leaseEv)
 		per.leaseEv = nil
 		s.scheduleLeaseFor(per, d)
+		if s.rsink != nil {
+			// Journal the re-arm; the patches ride the next record cut on
+			// this shard (tightening always runs inside a decision or tick
+			// that emits one).
+			s.pendingLease = append(s.pendingLease, LeasePatch{ID: per.id, LeaseAt: per.leaseEv.When()})
+		}
 		g.stats.Tightened++
 	}
 }
@@ -706,6 +723,7 @@ func (s *Scheduler) wakeAged(woken []*period) (_ []*period, reserved bool) {
 			s.waitlist.EnqueueAs(per, ticket)
 			g.stats.Reservations++
 			s.emit(EventGovernorReserve, per, per.key, per.demands[0])
+			s.rrec(RecReserve, per, nil)
 			return woken, true
 		}
 		if safeguard {

@@ -136,6 +136,9 @@ func (s *Scheduler) noteWait(per *period) {
 // late pp_end is recognized, and re-runs the wait queue against the
 // recovered capacity.
 func (s *Scheduler) reclaim(per *period) {
+	if s.detached {
+		return
+	}
 	if s.active[per.key] != per || !per.admitted {
 		return // ended (or was never admitted) in the meantime
 	}
@@ -152,6 +155,10 @@ func (s *Scheduler) reclaim(per *period) {
 	s.stats.Reclaimed++
 	s.emit(EventReclaim, per, per.key, per.demands[0])
 	s.govObserve(EventReclaim, 0)
+	s.rrec(RecReclaim, nil, func(r *ReplayRecord) {
+		r.RemoveID = per.id
+		r.ReclaimedAdd = []ProcPhase{{Proc: per.key.procID, Phase: per.key.phaseIdx}}
+	})
 	s.wakeWaitlist()
 }
 
@@ -160,6 +167,9 @@ func (s *Scheduler) reclaim(per *period) {
 // load is charged, the stock scheduler takes over — so an unsatisfiable
 // demand degrades to the paper's baseline instead of starving.
 func (s *Scheduler) fallbackAdmit(per *period) {
+	if s.detached {
+		return
+	}
 	if per.admitted || s.active[per.key] != per {
 		return // admitted or reclaimed in the meantime
 	}
@@ -179,7 +189,14 @@ func (s *Scheduler) fallbackAdmit(per *period) {
 		s.govObserve(EventFallback, 0)
 	}
 	s.scheduleLease(per)
+	ws := per.waiters
 	s.release(per)
+	s.rrec(RecFallback, per, func(r *ReplayRecord) {
+		for _, t := range ws {
+			r.InsideAdd = append(r.InsideAdd, insideEntry(t.ID(), per.key))
+		}
+		r.ParkedDel = []int{per.key.procID}
+	})
 }
 
 // Quiesce force-reclaims every period still registered, in admission-ID

@@ -133,6 +133,17 @@ type Scheduler struct {
 	domainIdx int
 	postWake  func()
 
+	// Checkpoint hooks (replay.go / state.go). rsink receives the
+	// admission journal stream; setStamp, set by a sharded DomainSet,
+	// stamps set-level post-state onto every shard record; pendingLease
+	// accumulates governor lease re-arms between records; detached marks
+	// a scheduler abandoned by the restore path — its timers are
+	// cancelled and any stray callback must become a no-op.
+	rsink        ReplaySink
+	setStamp     func(*ReplayRecord)
+	pendingLease []LeasePatch
+	detached     bool
+
 	// Recovery hooks (domain_recovery.go). offline quarantines the shard:
 	// the predicate denies everything, including the empty-load safeguard,
 	// so a crashed shard never admits even once drained. tolerateDrift
@@ -288,6 +299,7 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 	if in, ok := s.inside[t.ID()]; ok && in == key {
 		s.stats.Rejected++
 		s.emit(EventReject, s.active[key], key, ph.Demand())
+		s.rrec(RecReject, s.active[key], nil)
 		return true
 	}
 	per := s.active[key]
@@ -302,6 +314,7 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 		s.byID[per.id] = per
 		s.stats.Begins++
 		s.emit(EventBegin, per, key, per.demands[0])
+		s.rrec(RecBegin, per, nil)
 
 		if err := s.checkDemands(per.demands); errors.Is(err, ErrInvalidDemand) {
 			// Refuse to track the period; the thread runs under the stock
@@ -315,6 +328,9 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 			s.inside[t.ID()] = key
 			s.stats.Rejected++
 			s.emit(EventReject, per, key, per.demands[0])
+			s.rrec(RecReject, per, func(r *ReplayRecord) {
+				r.InsideAdd = []InsideEntry{insideEntry(t.ID(), key)}
+			})
 			return true
 		}
 		if s.govAdmit(key.procID, ph) == govAdmitQuarantined {
@@ -331,6 +347,9 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 			s.inside[t.ID()] = key
 			s.emit(EventGovernorQuarantine, per, key, per.demands[0])
 			s.scheduleLease(per)
+			s.rrec(RecQuarantine, per, func(r *ReplayRecord) {
+				r.InsideAdd = []InsideEntry{insideEntry(t.ID(), key)}
+			})
 			return true
 		}
 		if s.parked[key.procID] {
@@ -350,14 +369,21 @@ func (s *Scheduler) EnterPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) 
 		s.emit(EventAdmit, per, key, per.demands[0])
 		per.refs = 1
 		s.inside[t.ID()] = key
+		s.rrec(RecAdmit, per, func(r *ReplayRecord) {
+			r.InsideAdd = []InsideEntry{insideEntry(t.ID(), key)}
+		})
 		return true
 	}
 	if per.admitted {
 		per.refs++
 		s.inside[t.ID()] = key
+		s.rrec(RecJoin, per, func(r *ReplayRecord) {
+			r.InsideAdd = []InsideEntry{insideEntry(t.ID(), key)}
+		})
 		return true
 	}
 	per.waiters = append(per.waiters, t)
+	s.rrec(RecWaitJoin, per, nil)
 	return false
 }
 
@@ -394,13 +420,18 @@ func (s *Scheduler) checkDemands(ds []pp.Demand) error {
 // load it would release was either reclaimed already or never charged.
 func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	key := periodKey{t.Process().ID(), phaseIdx}
+	var insideDel []int
 	if in, ok := s.inside[t.ID()]; ok && in == key {
 		delete(s.inside, t.ID())
+		if s.rsink != nil {
+			insideDel = []int{t.ID()}
+		}
 	}
 	per := s.active[key]
 	if per == nil {
 		s.stats.LateEnds++
 		s.emit(EventLateEnd, nil, key, ph.Demand())
+		s.rrec(RecLateEnd, nil, func(r *ReplayRecord) { r.InsideDel = insideDel })
 		return
 	}
 	if !per.admitted {
@@ -410,6 +441,7 @@ func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	}
 	per.refs--
 	if per.refs > 0 {
+		s.rrec(RecLeave, per, func(r *ReplayRecord) { r.InsideDel = insideDel })
 		return
 	}
 	s.unregister(per)
@@ -421,6 +453,10 @@ func (s *Scheduler) ExitPhase(t *machine.Thread, phaseIdx int, ph *proc.Phase) {
 	s.stats.Ends++
 	s.emit(EventEnd, per, key, per.demands[0])
 	s.govObserve(EventEnd, 0)
+	s.rrec(RecEnd, nil, func(r *ReplayRecord) {
+		r.RemoveID = per.id
+		r.InsideDel = insideDel
+	})
 	s.wakeWaitlist()
 }
 
@@ -448,6 +484,11 @@ func (s *Scheduler) unregister(per *period) {
 // cascades: a trigger arriving mid-scan (a governor degradation, a
 // reentrant release) re-runs the scan instead of nesting it.
 func (s *Scheduler) wakeWaitlist() {
+	if s.detached {
+		// A stray rescan tick firing after the restore path abandoned
+		// this scheduler; the restored replacement owns the state now.
+		return
+	}
 	if s.inWake {
 		s.rescan = true
 		return
@@ -491,11 +532,19 @@ func (s *Scheduler) scanWaitlist() {
 		})...)
 	}
 	for _, per := range woken {
+		per := per
 		delete(s.parked, per.key.procID)
 		s.cancelDeadline(per)
 		s.noteWait(per)
 		s.govWake(per)
+		ws := per.waiters
 		s.release(per)
+		s.rrec(RecWake, per, func(r *ReplayRecord) {
+			for _, t := range ws {
+				r.InsideAdd = append(r.InsideAdd, insideEntry(t.ID(), per.key))
+			}
+			r.ParkedDel = []int{per.key.procID}
+		})
 	}
 }
 
@@ -555,6 +604,11 @@ func (s *Scheduler) deny(per *period, t *machine.Thread) {
 	if per.taskPool {
 		s.parked[per.key.procID] = true
 	}
+	s.rrec(RecDeny, per, func(r *ReplayRecord) {
+		if per.taskPool {
+			r.ParkedAdd = []int{per.key.procID}
+		}
+	})
 }
 
 // mustIncrement and mustDecrement are the scheduler's internal load-table

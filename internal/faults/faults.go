@@ -66,6 +66,15 @@ type Plan struct {
 	// the harness arms them on the run's event engine against the
 	// DomainSet (see internal/perf).
 	DomainFaults []DomainFault
+
+	// KillAt, when positive, kills the whole scheduler process at that
+	// virtual time: the run's event engine halts mid-schedule, exactly as
+	// if the host died. It is a run-level fault like DomainFaults — armed
+	// by the harness, not a workload transform — and deliberately not
+	// part of Enabled(): a kill does not perturb the workload, it
+	// truncates the run (the crash-restart experiment, E9, restores and
+	// resumes it).
+	KillAt sim.Duration
 }
 
 // DomainFaultKind classifies a scheduled domain-level fault.

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,13 @@ import (
 	"rdasched/internal/proc"
 	"rdasched/internal/sim"
 )
+
+// ErrHalted is returned by Run/Resume when the simulation was stopped by
+// sim.Engine.Halt before every process completed (the crash-restart
+// machinery's process-death fault). The machine's state is intact: the
+// run can continue via Resume, typically after a restored gate has been
+// swapped in with SetGate.
+var ErrHalted = errors.New("machine: halted")
 
 // State is a thread's scheduling state.
 type State int
@@ -281,7 +289,9 @@ func (m *Machine) AddWorkload(w proc.Workload) error {
 	return nil
 }
 
-// Run executes the simulation to completion and returns the result.
+// Run executes the simulation to completion and returns the result. When
+// the engine is halted mid-run (crash-restart fault injection) it returns
+// ErrHalted; the machine stays live and Resume continues the run.
 func (m *Machine) Run() (*Result, error) {
 	if m.ran {
 		return nil, fmt.Errorf("machine: Run called twice")
@@ -296,10 +306,36 @@ func (m *Machine) Run() (*Result, error) {
 		m.startPhase(t, 0)
 	}
 	m.reschedule()
+	return m.drive()
+}
 
+// Resume continues a run that Run (or a previous Resume) left with
+// ErrHalted. The caller must first clear the engine halt (sim.Engine
+// Resume); typically a restored gate has been installed with SetGate so
+// the remainder of the schedule is driven by the revived scheduler.
+func (m *Machine) Resume() (*Result, error) {
+	if !m.ran {
+		return nil, fmt.Errorf("machine: Resume before Run")
+	}
+	if m.err != nil {
+		return nil, fmt.Errorf("machine: Resume after failed run: %w", m.err)
+	}
+	if m.eng.Halted() {
+		return nil, fmt.Errorf("machine: Resume with the engine still halted")
+	}
+	return m.drive()
+}
+
+// drive steps the engine until every process completes, a stall or
+// MaxSimTime error occurs, or the engine is halted. A halt is NOT stored
+// in m.err — it is a resumable condition, not a failed run.
+func (m *Machine) drive() (*Result, error) {
 	deadline := sim.Time(0).Add(m.cfg.MaxSimTime)
 	for m.doneProcs < len(m.procs) && m.err == nil {
 		if !m.eng.Step() {
+			if m.eng.Halted() {
+				return nil, ErrHalted
+			}
 			m.err = m.stallError()
 			break
 		}
@@ -329,6 +365,22 @@ func (m *Machine) Run() (*Result, error) {
 		res.Procs = append(res.Procs, pr)
 	}
 	return res, nil
+}
+
+// SetGate replaces the admission gate mid-run. It exists for the restore
+// path: after a halt, a scheduler rebuilt from a checkpoint takes over
+// from the one that "died". The caller is responsible for the old gate's
+// pending timers — a detached gate must never touch the machine again.
+func (m *Machine) SetGate(g Gate) { m.gate = g }
+
+// ThreadByID returns the thread with the given machine-wide id, or nil
+// when no such thread exists. IDs are dense slice indexes assigned in
+// AddProcess order, so restored checkpoints can re-link waiter lists.
+func (m *Machine) ThreadByID(id int) *Thread {
+	if id < 0 || id >= len(m.threads) {
+		return nil
+	}
+	return m.threads[id]
 }
 
 func (m *Machine) stallError() error {

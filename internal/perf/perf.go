@@ -6,12 +6,17 @@
 package perf
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"rdasched/internal/core"
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
+	"rdasched/internal/persist"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
 	"rdasched/internal/runner"
@@ -173,6 +178,22 @@ type RunConfig struct {
 	// multi-window burn-rate alerting (Metrics.SLO; rda_slo_* families
 	// with Telemetry). Only meaningful with a non-nil Policy.
 	SLO *blame.SLOConfig
+
+	// Checkpoint, when non-nil, attaches the crash-safe admission
+	// journal and snapshot writer (internal/persist) to each
+	// repetition's scheduler. Repetition 0 writes into Checkpoint.Dir
+	// directly; repetition i > 0 into Dir/rep<i>. Combined with
+	// Faults.KillAt the run dies mid-schedule (machine.ErrHalted),
+	// leaving the checkpoint directory as the only survivor.
+	// Incompatible with Faults.DomainFaults (the recovery subsystem's
+	// injected state is not journaled) and with Restore.
+	Checkpoint *persist.Config
+	// Restore, when non-nil, resumes a killed run from a loaded
+	// checkpoint: the pre-kill prefix is re-executed (the simulation is
+	// deterministic), verified byte-for-byte against the restored state,
+	// and then a scheduler built purely from the checkpoint takes over
+	// the machine for the remainder. Requires Repetitions <= 1.
+	Restore *persist.Restored
 	// Jobs fans repetitions out across a worker pool (internal/runner);
 	// <= 1 runs them serially. Results are bit-identical for every
 	// value: each repetition is a pure function of (w, rc, rep), and
@@ -246,32 +267,33 @@ type admission interface {
 	EnableGovernor(core.GovernorConfig)
 	SetMetrics(*telemetry.Registry)
 	AddSink(core.EventSink)
+	SetReplaySink(core.ReplaySink)
+	ExportState() core.State
+	ImportState(core.State, core.ThreadResolver) error
+	Detach()
 	Quiesce() int
 	Stats() core.Stats
 	GovernorStats() core.GovernorStats
 	PublishStats(*telemetry.Registry)
 }
 
-func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
-	cfg := rc.Machine
-	cfg.Seed = rc.Seed*1000 + rep
-
-	var gate machine.Gate
-	var schd admission
-	var dset *core.DomainSet
+// newGate builds the admission gate for one repetition (nil for the
+// uninstrumented baseline). Extracted from runOnce so the restore path
+// can build a second, identical gate to import the checkpoint into.
+func newGate(rc RunConfig, cfg machine.Config) (admission, *core.DomainSet, error) {
 	if rc.Policy == nil {
-		w = Undeclare(w)
-	} else if rc.Domains >= 1 {
+		return nil, nil, nil
+	}
+	if rc.Domains >= 1 {
 		// RunConfig keeps the old "negative StealAge disables stealing"
 		// contract; the core config expresses that as DisableSteal.
 		dcfg := core.DomainConfig{Domains: rc.Domains, StealAge: rc.StealAge}
 		if rc.StealAge < 0 {
 			dcfg.StealAge, dcfg.DisableSteal = 0, true
 		}
-		var err error
-		dset, err = core.NewDomainSet(rc.Policy, cfg.LLCCapacity, dcfg)
+		dset, err := core.NewDomainSet(rc.Policy, cfg.LLCCapacity, dcfg)
 		if err != nil {
-			return Metrics{}, err
+			return nil, nil, err
 		}
 		// Track memory bandwidth as a second resource, split across the
 		// domains like the LLC budget.
@@ -285,67 +307,238 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 				rcfg = *rc.Recovery
 			}
 			if err := dset.EnableRecovery(rcfg); err != nil {
-				return Metrics{}, err
+				return nil, nil, err
 			}
 		}
-		schd, gate = dset, dset
-	} else {
-		s := core.New(rc.Policy, cfg.LLCCapacity)
-		// Track memory bandwidth as a second resource: periods declaring
-		// BWDemand are gated against the machine's DRAM roofline.
-		s.Resources().SetCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
-		if rc.Reserve > 0 {
-			s.SetReserve(rc.Reserve)
+		return dset, dset, nil
+	}
+	s := core.New(rc.Policy, cfg.LLCCapacity)
+	// Track memory bandwidth as a second resource: periods declaring
+	// BWDemand are gated against the machine's DRAM roofline.
+	s.Resources().SetCapacity(pp.ResourceMemBW, pp.Bytes(cfg.MemBandwidth))
+	if rc.Reserve > 0 {
+		s.SetReserve(rc.Reserve)
+	}
+	return s, nil, nil
+}
+
+// runSinks holds the observers shared by a repetition's gates. The
+// restore path binds them to two gates in sequence — the one that
+// re-executes the pre-kill prefix and the one built from the checkpoint
+// — so the resulting trace, metrics, and SLO streams cover the whole
+// run exactly once, like an uninterrupted run's would.
+type runSinks struct {
+	reg  *telemetry.Registry
+	col  *trace.Collector
+	bcol *blame.Collector
+	smon *blame.SLOMonitor
+}
+
+// bind wires one gate to the machine and attaches the (lazily created)
+// observers.
+func (sk *runSinks) bind(schd admission, m *machine.Machine, rc RunConfig) error {
+	schd.SetWaker(m)
+	schd.SetClock(m.Now)
+	schd.SetTimer(m.Engine())
+	schd.SetLease(rc.Lease)
+	schd.SetAdmissionDeadline(rc.AdmitDeadline)
+	if rc.Governor != nil {
+		schd.EnableGovernor(*rc.Governor)
+	}
+	if rc.Telemetry {
+		if sk.reg == nil {
+			sk.reg = telemetry.NewRegistry()
 		}
-		schd, gate = s, s
+		schd.SetMetrics(sk.reg)
+	}
+	if rc.Trace {
+		if sk.col == nil {
+			sk.col = trace.NewCollector()
+		}
+		schd.AddSink(sk.col)
+	}
+	if rc.Blame {
+		if sk.bcol == nil {
+			sk.bcol = blame.NewCollector()
+		}
+		schd.AddSink(sk.bcol)
+	}
+	if rc.SLO != nil {
+		if sk.smon == nil {
+			var err error
+			sk.smon, err = blame.NewSLOMonitor(*rc.SLO)
+			if err != nil {
+				return err
+			}
+		}
+		schd.AddSink(sk.smon)
+	}
+	return nil
+}
+
+// validatePersist rejects checkpoint/restore configurations the journal
+// cannot honor.
+func validatePersist(rc RunConfig) error {
+	if rc.Checkpoint == nil && rc.Restore == nil {
+		return nil
+	}
+	if rc.Policy == nil {
+		return fmt.Errorf("perf: checkpoint/restore requires an admission policy (the baseline has no gate state)")
+	}
+	if rc.Checkpoint != nil && rc.Restore != nil {
+		return fmt.Errorf("perf: checkpointing and restoring in the same run is not supported")
+	}
+	if rc.Faults != nil && len(rc.Faults.DomainFaults) > 0 {
+		return fmt.Errorf("perf: checkpoint/restore is incompatible with domain faults (recovery state is not journaled)")
+	}
+	if rc.Restore != nil {
+		if rc.Reps() > 1 {
+			return fmt.Errorf("perf: restore requires Repetitions <= 1 (a checkpoint belongs to one repetition)")
+		}
+		if rc.Restore.KillAt <= 0 {
+			return fmt.Errorf("perf: restored checkpoint has no kill time (was the run actually killed?)")
+		}
+	}
+	return nil
+}
+
+// stateTracker is the replay sink a revival run attaches to the gate
+// that re-executes the pre-kill prefix: every record the prefix emits is
+// folded into the restored state with the same State.Apply the journal
+// replay used. For a journal that survived intact this is a no-op —
+// records are idempotent post-state patches and the on-disk journal
+// already contained every one of them. For a journal torn mid-frame it
+// regenerates the lost suffix: the records past the truncation point are
+// an exact function of the deterministic re-execution, so the tracked
+// state converges on the gate at the kill no matter where the tear
+// landed.
+type stateTracker struct {
+	st  core.State
+	err error
+}
+
+// newStateTracker deep-copies the restored state (through its canonical
+// encoding) so folding prefix records never mutates the caller's
+// Restored value.
+func newStateTracker(st core.State) (*stateTracker, error) {
+	b, err := st.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	tr := &stateTracker{}
+	if err := json.Unmarshal(b, &tr.st); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Replay implements core.ReplaySink. Apply errors are sticky and
+// surface when the revival protocol runs.
+func (t *stateTracker) Replay(r core.ReplayRecord) {
+	if t.err != nil {
+		return
+	}
+	if err := t.st.Apply(r); err != nil {
+		t.err = err
+	}
+}
+
+// checkpointDir is repetition rep's directory under base: rep 0 owns
+// base itself (the common single-repetition case restores from the
+// directory the user named), later repetitions get subdirectories.
+func checkpointDir(base string, rep uint64) string {
+	if rep == 0 {
+		return base
+	}
+	return filepath.Join(base, fmt.Sprintf("rep%d", rep))
+}
+
+func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
+	cfg := rc.Machine
+	cfg.Seed = rc.Seed*1000 + rep
+
+	if err := validatePersist(rc); err != nil {
+		return Metrics{}, err
+	}
+	if rc.Policy == nil {
+		w = Undeclare(w)
+	}
+	schd, dset, err := newGate(rc, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var gate machine.Gate
+	if schd != nil {
+		gate = schd
 	}
 	m := machine.New(cfg, gate)
-	var reg *telemetry.Registry
-	var col *trace.Collector
-	var bcol *blame.Collector
-	var smon *blame.SLOMonitor
+	sk := &runSinks{}
 	if schd != nil {
-		schd.SetWaker(m)
-		schd.SetClock(m.Now)
-		schd.SetTimer(m.Engine())
-		schd.SetLease(rc.Lease)
-		schd.SetAdmissionDeadline(rc.AdmitDeadline)
-		if rc.Governor != nil {
-			schd.EnableGovernor(*rc.Governor)
+		if err := sk.bind(schd, m, rc); err != nil {
+			return Metrics{}, err
 		}
-		if rc.Telemetry {
-			reg = telemetry.NewRegistry()
-			schd.SetMetrics(reg)
-		}
-		if rc.Trace {
-			col = trace.NewCollector()
-			schd.AddSink(col)
-		}
-		if rc.Blame {
-			bcol = blame.NewCollector()
-			schd.AddSink(bcol)
-		}
-		if rc.SLO != nil {
-			var err error
-			smon, err = blame.NewSLOMonitor(*rc.SLO)
-			if err != nil {
-				return Metrics{}, err
-			}
-			schd.AddSink(smon)
-		}
+	}
+	// Arm the process-death fault. A revival run re-arms the exact kill
+	// its checkpoint recorded, so the pre-kill prefix re-executes
+	// identically and halts at the same engine event.
+	killAt := sim.Duration(0)
+	if rc.Faults != nil && rc.Faults.KillAt > 0 {
+		killAt = rc.Faults.KillAt
+	}
+	if rc.Restore != nil {
+		killAt = rc.Restore.KillAt
+	}
+	if killAt > 0 {
+		eng := m.Engine()
+		eng.After(killAt, eng.Halt)
 	}
 	if dset != nil && rc.Faults != nil && len(rc.Faults.DomainFaults) > 0 {
 		if err := armDomainFaults(dset, m.Engine(), rc.Faults.DomainFaults); err != nil {
 			return Metrics{}, err
 		}
 	}
+	var cp *persist.Checkpointer
+	if rc.Checkpoint != nil {
+		pcfg := *rc.Checkpoint
+		pcfg.Dir = checkpointDir(pcfg.Dir, rep)
+		cp, err = persist.Attach(pcfg, schd, killAt)
+		if err != nil {
+			return Metrics{}, err
+		}
+		schd.SetReplaySink(cp)
+	}
+	var tr *stateTracker
+	if rc.Restore != nil {
+		tr, err = newStateTracker(rc.Restore.State)
+		if err != nil {
+			return Metrics{}, err
+		}
+		schd.SetReplaySink(tr)
+	}
 	if err := m.AddWorkload(w); err != nil {
 		return Metrics{}, err
 	}
 	res, err := m.Run()
 	if err != nil {
-		return Metrics{}, err
+		if !errors.Is(err, machine.ErrHalted) {
+			return Metrics{}, err
+		}
+		if rc.Restore == nil {
+			// The injected process death: everything the run leaves
+			// behind is the checkpoint directory.
+			if cp != nil {
+				if cerr := cp.Close(); cerr != nil {
+					return Metrics{}, cerr
+				}
+			}
+			return Metrics{}, fmt.Errorf("perf: process killed at %v: %w", m.Now(), err)
+		}
+		schd, dset, res, err = resumeRestored(m, rc, cfg, schd, sk, tr)
+		if err != nil {
+			return Metrics{}, err
+		}
 	}
+	reg, col, bcol, smon := sk.reg, sk.col, sk.bcol, sk.smon
 	var rob core.Stats
 	var gov core.GovernorStats
 	if schd != nil {
@@ -387,6 +580,19 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		dst = dset.DomainStats()
 		rst = dset.RecoveryStats()
 	}
+	if cp != nil {
+		// Surface any sticky journal I/O error: a run whose checkpoint
+		// silently failed must not report success.
+		if err := cp.Close(); err != nil {
+			return Metrics{}, err
+		}
+		if reg != nil {
+			cp.Publish(reg)
+		}
+	}
+	if rc.Restore != nil && reg != nil {
+		rc.Restore.Publish(reg)
+	}
 	return Metrics{
 		Telemetry: reg,
 		Spans:     spans,
@@ -425,6 +631,70 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 		DomainRecoveries: float64(rst.Reintegrations),
 		DroppedPeriods:   float64(rst.Dropped),
 	}, nil
+}
+
+// resumeRestored is the revival protocol, entered when the re-executed
+// pre-kill prefix halts at the checkpointed kill time:
+//
+//  1. Verify: the live gate's exported state must match the tracked
+//     restored state — the checkpoint plus every record the prefix
+//     re-emitted (a no-op for an intact journal, the regenerated suffix
+//     for a torn one) — byte-for-byte under canonical JSON. (The
+//     tracked state's clock reads the last record, which can trail the
+//     kill by a stretch with no admission activity, so the timestamps
+//     are aligned before comparing.) A mismatch means the journal and
+//     the deterministic re-execution disagree — corruption beyond what
+//     the checksums caught, or nondeterminism; either way, refuse.
+//  2. Detach the prefix gate: cancel its timers, drop its sinks; any
+//     already-queued event against it becomes a no-op.
+//  3. Build a fresh gate from the run configuration, import the
+//     restored state into it (re-linking waiter threads through the
+//     machine, re-arming every lease/deadline/tick at its original
+//     expiry), re-attach the observers, and swap it under the machine.
+//  4. Clear the halt and drive the run to completion.
+//
+// The imported state — not the re-executed prefix gate — owns the rest
+// of the run, so the persistence layer is load-bearing: any field the
+// snapshot or journal misrepresents changes the resumed schedule, and
+// the E9 golden (byte-identical final tables vs. the unkilled run)
+// catches it.
+func resumeRestored(m *machine.Machine, rc RunConfig, cfg machine.Config, old admission, sk *runSinks, tr *stateTracker) (admission, *core.DomainSet, *machine.Result, error) {
+	if tr.err != nil {
+		return nil, nil, nil, fmt.Errorf("perf: folding re-executed prefix into restored state: %w", tr.err)
+	}
+	live := old.ExportState()
+	want := tr.st
+	want.At = live.At
+	lb, err := live.Canonical()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wb, err := want.Canonical()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !bytes.Equal(lb, wb) {
+		return nil, nil, nil, fmt.Errorf("perf: restored state diverges from re-executed run at %v (%d vs %d canonical bytes)",
+			m.Now(), len(wb), len(lb))
+	}
+	old.Detach()
+	schd, dset, err := newGate(rc, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := sk.bind(schd, m, rc); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := schd.ImportState(want, m.ThreadByID); err != nil {
+		return nil, nil, nil, err
+	}
+	m.SetGate(schd)
+	m.Engine().Resume()
+	res, err := m.Resume()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return schd, dset, res, nil
 }
 
 // armDomainFaults schedules a plan's domain-level faults on the run's

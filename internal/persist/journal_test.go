@@ -1,0 +1,200 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rdasched/internal/core"
+	"rdasched/internal/pp"
+	"rdasched/internal/sim"
+)
+
+// sampleRecords builds n distinguishable records.
+func sampleRecords(n int) []core.ReplayRecord {
+	recs := make([]core.ReplayRecord, n)
+	for i := range recs {
+		st := core.Stats{Admitted: uint64(i)}
+		recs[i] = core.ReplayRecord{
+			At:      sim.Time(0).Add(sim.Duration(i+1) * sim.FromSeconds(0.001)),
+			Kind:    core.RecAdmit,
+			Domain:  0,
+			Usage:   []pp.Bytes{pp.KB(float64(64 * (i + 1))), 0},
+			WaitSeq: uint64(i),
+			NextID:  pp.ID(i + 1),
+			Stats:   &st,
+			Src:     -1,
+		}
+	}
+	return recs
+}
+
+// encodeRecords frames records with sequence numbers 1..n.
+func encodeRecords(tb testing.TB, recs []core.ReplayRecord) []byte {
+	tb.Helper()
+	var buf []byte
+	for i := range recs {
+		p, err := json.Marshal(&recs[i])
+		if err != nil {
+			tb.Fatalf("marshal: %v", err)
+		}
+		buf = appendFrame(buf, uint64(i+1), p)
+	}
+	return buf
+}
+
+// wantPrefix asserts the decode result is exactly the first n of want,
+// comparing records through their JSON encodings.
+func wantPrefix(t *testing.T, seqs []uint64, recs []core.ReplayRecord, want []core.ReplayRecord, n int) {
+	t.Helper()
+	if len(seqs) != len(recs) {
+		t.Fatalf("decode returned %d seqs but %d records", len(seqs), len(recs))
+	}
+	if len(recs) != n {
+		t.Fatalf("decoded %d records, want %d", len(recs), n)
+	}
+	for i := range recs {
+		if seqs[i] != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, seqs[i], i+1)
+		}
+		got, _ := json.Marshal(&recs[i])
+		exp, _ := json.Marshal(&want[i])
+		if string(got) != string(exp) {
+			t.Fatalf("record %d decoded as %s, want %s", i, got, exp)
+		}
+	}
+}
+
+func TestDecodeJournalClean(t *testing.T) {
+	want := sampleRecords(3)
+	data := encodeRecords(t, want)
+	seqs, recs, truncated, reason := DecodeJournal(data)
+	if truncated {
+		t.Fatalf("clean journal reported truncation: %s", reason)
+	}
+	wantPrefix(t, seqs, recs, want, 3)
+}
+
+func TestDecodeJournalEmpty(t *testing.T) {
+	seqs, recs, truncated, _ := DecodeJournal(nil)
+	if truncated || len(seqs) != 0 || len(recs) != 0 {
+		t.Fatalf("empty journal: seqs=%d recs=%d truncated=%v", len(seqs), len(recs), truncated)
+	}
+}
+
+func TestDecodeJournalTornTail(t *testing.T) {
+	want := sampleRecords(3)
+	data := encodeRecords(t, want)
+	for cut := 1; cut < 16; cut++ {
+		seqs, recs, truncated, reason := DecodeJournal(data[:len(data)-cut])
+		if !truncated {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if reason == "" {
+			t.Fatalf("cut %d: truncated without a reason", cut)
+		}
+		wantPrefix(t, seqs, recs, want, 2)
+	}
+}
+
+func TestDecodeJournalBadCRC(t *testing.T) {
+	want := sampleRecords(3)
+	data := encodeRecords(t, want)
+	// Flip the last byte: the CRC tail of the final frame.
+	data[len(data)-1] ^= 0xff
+	seqs, recs, truncated, reason := DecodeJournal(data)
+	if !truncated || !strings.Contains(reason, "checksum") {
+		t.Fatalf("flipped CRC: truncated=%v reason=%q", truncated, reason)
+	}
+	wantPrefix(t, seqs, recs, want, 2)
+}
+
+func TestDecodeJournalNonMonotoneSeq(t *testing.T) {
+	recs := sampleRecords(2)
+	p0, _ := json.Marshal(&recs[0])
+	p1, _ := json.Marshal(&recs[1])
+	var data []byte
+	data = appendFrame(data, 5, p0)
+	data = appendFrame(data, 5, p1) // not above 5: spliced or rewound
+	seqs, _, truncated, reason := DecodeJournal(data)
+	if !truncated || !strings.Contains(reason, "sequence") {
+		t.Fatalf("repeated seq: truncated=%v reason=%q", truncated, reason)
+	}
+	if len(seqs) != 1 || seqs[0] != 5 {
+		t.Fatalf("decoded seqs %v, want [5]", seqs)
+	}
+}
+
+func TestDecodeJournalOversizeLength(t *testing.T) {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], maxFrame+1)
+	binary.LittleEndian.PutUint64(hdr[4:12], 1)
+	_, recs, truncated, reason := DecodeJournal(hdr[:])
+	if !truncated || !strings.Contains(reason, "exceeds") {
+		t.Fatalf("oversize length: truncated=%v reason=%q", truncated, reason)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("decoded %d records from a poisoned header", len(recs))
+	}
+}
+
+func TestDecodeJournalUndecodableRecord(t *testing.T) {
+	want := sampleRecords(1)
+	data := encodeRecords(t, want)
+	// A frame whose payload passes the checksum but is not a record.
+	data = appendFrame(data, 2, []byte("{"))
+	seqs, recs, truncated, reason := DecodeJournal(data)
+	if !truncated || !strings.Contains(reason, "undecodable") {
+		t.Fatalf("bad payload: truncated=%v reason=%q", truncated, reason)
+	}
+	wantPrefix(t, seqs, recs, want, 1)
+}
+
+// TestDecodeJournalSingleByteFlips pins the fail-closed property the
+// checksums exist for: flipping any single byte of a valid journal must
+// yield a strict prefix of the original records — never a record with
+// different content, never more records.
+func TestDecodeJournalSingleByteFlips(t *testing.T) {
+	want := sampleRecords(3)
+	orig := encodeRecords(t, want)
+	for pos := range orig {
+		data := append([]byte(nil), orig...)
+		data[pos] ^= 0xff
+		seqs, recs, _, _ := DecodeJournal(data)
+		if len(seqs) != len(recs) {
+			t.Fatalf("pos %d: %d seqs vs %d records", pos, len(seqs), len(recs))
+		}
+		if len(recs) > len(want) {
+			t.Fatalf("pos %d: decoded %d records from a 3-record journal", pos, len(recs))
+		}
+		for i := range recs {
+			// A flipped sequence byte can only skip forward (monotone
+			// check), never alias another record's payload (the CRC
+			// covers the sequence); content must match by position in
+			// the surviving prefix.
+			got, _ := json.Marshal(&recs[i])
+			exp, _ := json.Marshal(&want[i])
+			if seqs[i] == uint64(i+1) && string(got) != string(exp) {
+				t.Fatalf("pos %d: record %d content changed under a byte flip", pos, i)
+			}
+		}
+	}
+}
+
+func TestDecodeJournalLargeRecord(t *testing.T) {
+	// One record with a bulky payload (a deep parked list) still frames
+	// and decodes in one piece.
+	rec := core.ReplayRecord{Kind: core.RecDeny, Domain: 0, Src: -1}
+	for i := 0; i < 10000; i++ {
+		rec.ParkedAdd = append(rec.ParkedAdd, i)
+	}
+	data := encodeRecords(t, []core.ReplayRecord{rec})
+	seqs, recs, truncated, reason := DecodeJournal(data)
+	if truncated {
+		t.Fatalf("valid frame truncated: %s", reason)
+	}
+	if len(seqs) != 1 || len(recs[0].ParkedAdd) != 10000 {
+		t.Fatalf("large record did not round-trip")
+	}
+}

@@ -148,5 +148,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // Halt stops Run/RunUntil after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// Resume clears a Halt so Run/Step can continue draining the queue. The
+// clock and pending events are untouched: a halted engine that is resumed
+// behaves exactly as if Halt had never been called, which is what the
+// crash-restart machinery relies on when it swaps a restored scheduler in
+// under a live machine.
+func (e *Engine) Resume() { e.halted = false }
+
 // Halted reports whether Halt has been called.
 func (e *Engine) Halted() bool { return e.halted }

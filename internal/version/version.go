@@ -1,0 +1,42 @@
+// Package version derives a human-readable build identity from the
+// information the Go toolchain embeds in every binary, so the CLIs can
+// answer -version (and stamp report headers) without a hand-maintained
+// constant or linker flags.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String returns "rdasched <module version> (<vcs revision>[, dirty])".
+// Fields the build did not record (a plain `go build` outside a VCS
+// checkout, a test binary) degrade to "devel".
+func String() string {
+	mod, rev, dirty := "devel", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			mod = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	out := "rdasched " + mod
+	if rev != "" {
+		out += fmt.Sprintf(" (%s", rev)
+		if dirty {
+			out += ", dirty"
+		}
+		out += ")"
+	}
+	return out
+}
