@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all test race fuzz vet bench experiments chaos govern domains heal observe revive examples cover clean
+.PHONY: all test race fuzz vet bench bench-diff experiments chaos govern domains heal observe revive examples cover clean
 
 all: test
 
@@ -31,14 +31,21 @@ fuzz:
 	$(GO) test ./internal/persist -run='^$$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=$(FUZZTIME)
 
 # Full benchmark sweep, converted by scripts/benchjson into the
-# machine-readable BENCH_8.json artifact (and schema-checked). Raise
+# machine-readable BENCH_10.json artifact (and schema-checked). Raise
 # BENCHTIME (e.g. BENCHTIME=1s) for stable numbers; the default 1x
 # keeps the target fast enough for CI.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... > /tmp/rda-bench.txt
 	cat /tmp/rda-bench.txt
-	$(GO) run ./scripts/benchjson -o BENCH_8.json < /tmp/rda-bench.txt
-	$(GO) run ./scripts/benchjson -check BENCH_8.json
+	$(GO) run ./scripts/benchjson -o BENCH_10.json < /tmp/rda-bench.txt
+	$(GO) run ./scripts/benchjson -check BENCH_10.json
+
+# Regression gate: rerun the sweep and compare ns/op against the
+# committed BENCH_8.json baseline; exits non-zero past a 10% slowdown
+# on any shared benchmark. 1x benchtime numbers are noisy — use
+# BENCHTIME=1s before trusting a failure.
+bench-diff: bench
+	$(GO) run ./scripts/benchjson -diff BENCH_8.json BENCH_10.json
 
 experiments:
 	$(GO) run ./cmd/experiments -all

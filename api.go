@@ -14,6 +14,7 @@ import (
 	"rdasched/internal/core"
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
+	"rdasched/internal/obsrv"
 	"rdasched/internal/perf"
 	"rdasched/internal/persist"
 	"rdasched/internal/pp"
@@ -337,6 +338,32 @@ func NewSLOMonitor(cfg SLOConfig) (*SLOMonitor, error) { return blame.NewSLOMoni
 func WriteObservabilityHTML(w io.Writer, meta ObsReportMeta, rpt *BlameReport, slo *SLOResult) error {
 	return blame.WriteHTML(w, meta, rpt, slo)
 }
+
+// Live introspection: an embeddable HTTP server exposing a running
+// measurement's telemetry (/metrics), decision stream (/events, SSE),
+// canonical state (/state), wait attribution (/blame), health probes,
+// and pprof. Attach it through RunConfig.Obsrv; throttle virtual time
+// against the wall clock with RunConfig.Pace. Observation never changes
+// results: every endpoint serves non-blocking copies.
+type (
+	// ObsrvConfig configures the introspection server (listen address,
+	// per-subscriber event buffer, state publication period).
+	ObsrvConfig = obsrv.Config
+	// ObsrvServer is a live introspection endpoint.
+	ObsrvServer = obsrv.Server
+)
+
+// Serve binds the introspection server and starts serving; pass the
+// returned server as RunConfig.Obsrv and Close it when done.
+func Serve(cfg ObsrvConfig) (*ObsrvServer, error) { return obsrv.Serve(cfg) }
+
+// ParsePace parses the CLI pacing syntax ("max", "1x", "10x", "0.5x")
+// into a RunConfig.Pace ratio.
+func ParsePace(s string) (float64, error) { return obsrv.ParsePace(s) }
+
+// ErrRunStopped: the run was halted by ObsrvServer.RequestStop (the
+// CLIs' SIGTERM path); a clean, intentional end (errors.Is).
+var ErrRunStopped = perf.ErrStopped
 
 // Table2 returns the paper's eight workloads.
 func Table2() []Workload { return workloads.Table2() }

@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"time"
 
 	"rdasched/internal/core"
 	"rdasched/internal/experiments"
+	"rdasched/internal/obsrv"
 	"rdasched/internal/profutil"
 	"rdasched/internal/report"
 	"rdasched/internal/version"
@@ -31,7 +35,7 @@ import (
 
 // validateFlags rejects out-of-range numeric flags with a clear error
 // instead of silently clamping or misbehaving downstream.
-func validateFlags(scale, jitter float64, reps, jobs int) error {
+func validateFlags(scale, jitter float64, reps, jobs int, listen, pace string) error {
 	if scale <= 0 || scale > 1 {
 		return fmt.Errorf("-scale %g out of range (need 0 < scale <= 1)", scale)
 	}
@@ -43,6 +47,14 @@ func validateFlags(scale, jitter float64, reps, jobs int) error {
 	}
 	if jobs < 1 {
 		return fmt.Errorf("-jobs %d, need at least 1", jobs)
+	}
+	if listen != "" {
+		if _, _, err := net.SplitHostPort(listen); err != nil {
+			return fmt.Errorf("-listen %q is not a host:port address: %v", listen, err)
+		}
+	}
+	if _, err := obsrv.ParsePace(pace); err != nil {
+		return fmt.Errorf("-pace: %v", err)
 	}
 	return nil
 }
@@ -66,6 +78,8 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile of this process to the file on exit")
 		metrics  = flag.Bool("metrics", false, "print the telemetry registry (Prometheus text exposition) after harnesses that collect one (e4, e5, waits)")
 		governor = flag.Bool("governor", false, "attach the adaptive admission governor to every scheduled cell (e5 configures its own)")
+		listen   = flag.String("listen", "", "serve live introspection endpoints (/metrics, /events, /state, /debug/pprof) on this address while the sweep runs, e.g. :8080")
+		pace     = flag.String("pace", "max", `wall-clock pacing of virtual time: "max" (unthrottled) or a ratio like "1x" (real time) or "10x"`)
 		showVer  = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -74,7 +88,7 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
-	if err := validateFlags(*scale, *jitter, *reps, *jobs); err != nil {
+	if err := validateFlags(*scale, *jitter, *reps, *jobs, *listen, *pace); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
@@ -87,6 +101,22 @@ func main() {
 	opt.Jobs = *jobs
 	opt.TraceDir = *traceDir
 	opt.ObsDir = *obsDir
+	opt.Pace, _ = obsrv.ParsePace(*pace) // validated above
+	if *listen != "" {
+		srv, err := obsrv.Serve(obsrv.Config{Addr: *listen})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: introspection server on %s\n", srv.URL())
+		opt.Obsrv = srv
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: introspection shutdown:", err)
+			}
+		}()
+	}
 	stopProf, err := profutil.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)

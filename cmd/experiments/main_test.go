@@ -15,22 +15,28 @@ func TestValidateFlags(t *testing.T) {
 		jitter  float64
 		reps    int
 		jobs    int
+		listen  string
+		pace    string
 		wantErr string // substring; empty means valid
 	}{
-		{"defaults", 1, 0.02, 4, 8, ""},
-		{"quick-run", 0.05, 0, 1, 1, ""},
-		{"scale-zero", 0, 0.02, 4, 1, "-scale"},
-		{"scale-negative", -0.5, 0.02, 4, 1, "-scale"},
-		{"scale-above-one", 2, 0.02, 4, 1, "-scale"},
-		{"jitter-negative", 1, -0.01, 4, 1, "-jitter"},
-		{"reps-zero", 1, 0.02, 0, 1, "-reps"},
-		{"reps-negative", 1, 0.02, -3, 1, "-reps"},
-		{"jobs-zero", 1, 0.02, 4, 0, "-jobs"},
+		{"defaults", 1, 0.02, 4, 8, "", "max", ""},
+		{"quick-run", 0.05, 0, 1, 1, "", "max", ""},
+		{"live-watch", 1, 0.02, 4, 1, ":8080", "10x", ""},
+		{"scale-zero", 0, 0.02, 4, 1, "", "max", "-scale"},
+		{"scale-negative", -0.5, 0.02, 4, 1, "", "max", "-scale"},
+		{"scale-above-one", 2, 0.02, 4, 1, "", "max", "-scale"},
+		{"jitter-negative", 1, -0.01, 4, 1, "", "max", "-jitter"},
+		{"reps-zero", 1, 0.02, 0, 1, "", "max", "-reps"},
+		{"reps-negative", 1, 0.02, -3, 1, "", "max", "-reps"},
+		{"jobs-zero", 1, 0.02, 4, 0, "", "max", "-jobs"},
+		{"listen-no-port", 1, 0.02, 4, 1, "localhost", "max", "-listen"},
+		{"pace-zero", 1, 0.02, 4, 1, "", "0x", "-pace"},
+		{"pace-garbage", 1, 0.02, 4, 1, "", "quick", "-pace"},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.scale, tc.jitter, tc.reps, tc.jobs)
+			err := validateFlags(tc.scale, tc.jitter, tc.reps, tc.jobs, tc.listen, tc.pace)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("valid flags rejected: %v", err)

@@ -8,21 +8,28 @@
 //	rdasched -workload BLAS-3 -policy compromise -reps 4 -jitter 0.02
 //	rdasched -workload water_nsq -policy strict -trace out.json -metrics
 //	rdasched -workload water_nsq -policy strict -domains 2 -domain-faults 0.5
+//	rdasched -workload water_nsq -policy strict -listen :8080 -pace 10x
 //	rdasched -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"rdasched/internal/core"
 	"rdasched/internal/experiments"
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
+	"rdasched/internal/obsrv"
 	"rdasched/internal/perf"
 	"rdasched/internal/persist"
 	"rdasched/internal/proc"
@@ -38,7 +45,7 @@ import (
 // validateFlags rejects out-of-range numeric flags with a clear error.
 // The old behaviour silently ignored an out-of-range -scale, which made
 // `-scale 10` look like a slow full run instead of a typo.
-func validateFlags(scale, jitter float64, reps, jobs int, sloMS, ckptEvery, killAt float64) error {
+func validateFlags(scale, jitter float64, reps, jobs int, sloMS, ckptEvery, killAt float64, listen, pace string) error {
 	if scale <= 0 || scale > 1 {
 		return fmt.Errorf("-scale %g out of range (need 0 < scale <= 1)", scale)
 	}
@@ -59,6 +66,14 @@ func validateFlags(scale, jitter float64, reps, jobs int, sloMS, ckptEvery, kill
 	}
 	if killAt < 0 {
 		return fmt.Errorf("-kill-at %g is negative", killAt)
+	}
+	if listen != "" {
+		if _, _, err := net.SplitHostPort(listen); err != nil {
+			return fmt.Errorf("-listen %q is not a host:port address: %v", listen, err)
+		}
+	}
+	if _, err := obsrv.ParsePace(pace); err != nil {
+		return fmt.Errorf("-pace: %v", err)
 	}
 	return nil
 }
@@ -87,6 +102,8 @@ func main() {
 		ckptEvery = flag.Float64("checkpoint-every", 0, "virtual seconds between periodic snapshots under -checkpoint-dir (0 = journal-only after the attach snapshot)")
 		restore   = flag.String("restore", "", "restore the gate from this checkpoint directory and resume the killed run to completion")
 		killAt    = flag.Float64("kill-at", 0, "kill the process at this virtual second (crash injection; pair with -checkpoint-dir, then resume with -restore)")
+		listen    = flag.String("listen", "", "serve live introspection endpoints (/metrics, /events, /state, /blame, /debug/pprof) on this address while the run executes, e.g. :8080")
+		pace      = flag.String("pace", "max", `wall-clock pacing of virtual time: "max" (unthrottled) or a ratio like "1x" (real time) or "10x"`)
 		showVer   = flag.Bool("version", false, "print the build identity and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of this process to the file")
 		memProf   = flag.String("memprofile", "", "write a heap profile of this process to the file on exit")
@@ -97,7 +114,7 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
-	if err := validateFlags(*scale, *jitter, *reps, *jobs, *sloMS, *ckptEvery, *killAt); err != nil {
+	if err := validateFlags(*scale, *jitter, *reps, *jobs, *sloMS, *ckptEvery, *killAt, *listen, *pace); err != nil {
 		fmt.Fprintln(os.Stderr, "rdasched:", err)
 		os.Exit(2)
 	}
@@ -157,10 +174,36 @@ func main() {
 		Repetitions: *reps,
 		JitterFrac:  *jitter,
 		Seed:        *seed,
-		Telemetry:   *metrics || *tracePath != "",
+		Telemetry:   *metrics || *tracePath != "" || *listen != "",
 		Trace:       *tracePath != "",
 		Jobs:        *jobs,
 		Domains:     *domains,
+	}
+	rc.Pace, _ = obsrv.ParsePace(*pace) // validated above
+	if *listen != "" {
+		srv, err := obsrv.Serve(obsrv.Config{Addr: *listen})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rdasched: introspection server on %s\n", srv.URL())
+		rc.Obsrv = srv
+		// SIGINT/SIGTERM stop the run at the next event boundary instead
+		// of killing the process: perf surfaces ErrStopped and the CLI
+		// exits cleanly (the CI smoke job relies on this).
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigc
+			fmt.Fprintf(os.Stderr, "rdasched: received %v, stopping run\n", sig)
+			srv.RequestStop()
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "rdasched: introspection shutdown:", err)
+			}
+		}()
 	}
 	if *domains >= 1 && pol == nil {
 		fatal(fmt.Errorf("-domains needs a scheduling policy (-policy strict or compromise)"))
@@ -215,6 +258,13 @@ func main() {
 	}
 	mean, sd, err := perf.Run(w, rc)
 	if err != nil {
+		// A signal-requested stop is a clean, intentional end of the
+		// run: report it and exit 0 (partial measurements are discarded,
+		// the run never completed).
+		if errors.Is(err, perf.ErrStopped) {
+			fmt.Fprintln(os.Stderr, "rdasched:", err)
+			return
+		}
 		// An armed -kill-at halting the run is the injected crash doing
 		// its job, not a failure: report where the checkpoint landed.
 		if errors.Is(err, machine.ErrHalted) && *ckptDir != "" {

@@ -14,30 +14,39 @@ func TestValidateFlags(t *testing.T) {
 		scale, jitter            float64
 		reps, jobs               int
 		sloMS, ckptEvery, killAt float64
+		listen, pace             string
 	}
-	valid := in{scale: 1, jitter: 0.02, reps: 4, jobs: 1}
+	valid := in{scale: 1, jitter: 0.02, reps: 4, jobs: 1, pace: "max"}
 	cases := []struct {
 		name    string
 		in      in
 		wantErr string // substring; empty means valid
 	}{
 		{"defaults", valid, ""},
-		{"quick-run", in{scale: 0.05, reps: 1, jobs: 4, sloMS: 25, ckptEvery: 0.5, killAt: 1.5}, ""},
-		{"scale-zero", in{scale: 0, reps: 1, jobs: 1}, "-scale"},
-		{"scale-negative", in{scale: -1, reps: 1, jobs: 1}, "-scale"},
-		{"scale-above-one", in{scale: 10, reps: 1, jobs: 1}, "-scale"},
-		{"jitter-negative", in{scale: 1, jitter: -0.1, reps: 1, jobs: 1}, "-jitter"},
-		{"reps-zero", in{scale: 1, reps: 0, jobs: 1}, "-reps"},
-		{"jobs-zero", in{scale: 1, reps: 1, jobs: 0}, "-jobs"},
-		{"slo-negative", in{scale: 1, reps: 1, jobs: 1, sloMS: -50}, "-slo-ms"},
-		{"checkpoint-every-negative", in{scale: 1, reps: 1, jobs: 1, ckptEvery: -1}, "-checkpoint-every"},
-		{"kill-at-negative", in{scale: 1, reps: 1, jobs: 1, killAt: -2}, "-kill-at"},
+		{"quick-run", in{scale: 0.05, reps: 1, jobs: 4, sloMS: 25, ckptEvery: 0.5, killAt: 1.5, pace: "max"}, ""},
+		{"live-watch", in{scale: 1, reps: 1, jobs: 1, listen: ":8080", pace: "10x"}, ""},
+		{"listen-any-port", in{scale: 1, reps: 1, jobs: 1, listen: "127.0.0.1:0", pace: "1x"}, ""},
+		{"pace-fractional", in{scale: 1, reps: 1, jobs: 1, pace: "0.5x"}, ""},
+		{"scale-zero", in{scale: 0, reps: 1, jobs: 1, pace: "max"}, "-scale"},
+		{"scale-negative", in{scale: -1, reps: 1, jobs: 1, pace: "max"}, "-scale"},
+		{"scale-above-one", in{scale: 10, reps: 1, jobs: 1, pace: "max"}, "-scale"},
+		{"jitter-negative", in{scale: 1, jitter: -0.1, reps: 1, jobs: 1, pace: "max"}, "-jitter"},
+		{"reps-zero", in{scale: 1, reps: 0, jobs: 1, pace: "max"}, "-reps"},
+		{"jobs-zero", in{scale: 1, reps: 1, jobs: 0, pace: "max"}, "-jobs"},
+		{"slo-negative", in{scale: 1, reps: 1, jobs: 1, sloMS: -50, pace: "max"}, "-slo-ms"},
+		{"checkpoint-every-negative", in{scale: 1, reps: 1, jobs: 1, ckptEvery: -1, pace: "max"}, "-checkpoint-every"},
+		{"kill-at-negative", in{scale: 1, reps: 1, jobs: 1, killAt: -2, pace: "max"}, "-kill-at"},
+		{"listen-no-port", in{scale: 1, reps: 1, jobs: 1, listen: "localhost", pace: "max"}, "-listen"},
+		{"listen-garbage", in{scale: 1, reps: 1, jobs: 1, listen: "http://:8080", pace: "max"}, "-listen"},
+		{"pace-zero", in{scale: 1, reps: 1, jobs: 1, pace: "0x"}, "-pace"},
+		{"pace-negative", in{scale: 1, reps: 1, jobs: 1, pace: "-2x"}, "-pace"},
+		{"pace-garbage", in{scale: 1, reps: 1, jobs: 1, pace: "fast"}, "-pace"},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			err := validateFlags(tc.in.scale, tc.in.jitter, tc.in.reps, tc.in.jobs,
-				tc.in.sloMS, tc.in.ckptEvery, tc.in.killAt)
+				tc.in.sloMS, tc.in.ckptEvery, tc.in.killAt, tc.in.listen, tc.in.pace)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("valid flags rejected: %v", err)

@@ -15,6 +15,7 @@ import (
 
 	"rdasched/internal/core"
 	"rdasched/internal/machine"
+	"rdasched/internal/obsrv"
 	"rdasched/internal/perf"
 	"rdasched/internal/proc"
 	"rdasched/internal/report"
@@ -72,6 +73,15 @@ type Options struct {
 	// E5 overload sweep configures its own per-cell governors and
 	// ignores this option.
 	Governor *core.GovernorConfig
+	// Obsrv, when non-nil, attaches the live introspection server to
+	// every replication: scrape /metrics and /state while an E-series
+	// sweep runs. Purely observational — results are bit-identical with
+	// or without it. See perf.RunConfig.Obsrv.
+	Obsrv *obsrv.Server
+	// Pace throttles virtual time to Pace virtual seconds per wall
+	// second in every replication (0 = unthrottled). Mostly useful with
+	// Obsrv and Jobs=1 to watch a sweep live.
+	Pace float64
 }
 
 // Defaults returns the paper's measurement setup: Table 1 machine, four
@@ -147,6 +157,7 @@ func measure(cells []cell, opt Options) ([]measured, error) {
 		if rc.Governor == nil && opt.Governor != nil && rc.Policy != nil {
 			rc.Governor = opt.Governor
 		}
+		rc.Obsrv, rc.Pace = opt.Obsrv, opt.Pace
 		m, err := perf.Sample(c.w, rc, 0)
 		if err != nil {
 			return perf.Metrics{}, fmt.Errorf("%s (rep %d): %w", c.label, jobRep[i], err)

@@ -1,0 +1,81 @@
+package obsrv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rdasched/internal/sim"
+)
+
+// Wall-clock pacing. The simulation normally burns through virtual time
+// as fast as the host allows — a multi-second run finishes in
+// milliseconds, which makes the live endpoints useless to a human (and
+// to a scraper with a finite poll interval). A Pacer throttles the
+// engine from the sim.Engine step hook so that virtual time advances at
+// a fixed multiple of wall time: ratio 1 is real time, ratio 10 lets 10
+// virtual seconds pass per wall second, ratio 0 disables pacing.
+//
+// Pacing only ever sleeps between events; it cannot reorder, add, or
+// drop them, so a paced run produces byte-identical results to an
+// unpaced one — the whole point is to watch the same run slowly.
+
+// ParsePace parses the CLI -pace syntax: "max" (or "") for unthrottled,
+// or "<ratio>x" / "<ratio>" for a positive virtual-per-wall multiplier
+// ("1x" real time, "10x" ten times faster, "0.5x" half speed).
+func ParsePace(s string) (float64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	if t == "" || t == "max" {
+		return 0, nil
+	}
+	t = strings.TrimSuffix(t, "x")
+	ratio, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obsrv: bad pace %q (want \"max\" or a ratio like \"1x\", \"10x\")", s)
+	}
+	if ratio <= 0 {
+		return 0, fmt.Errorf("obsrv: bad pace %q (ratio must be positive)", s)
+	}
+	return ratio, nil
+}
+
+// Pacer maps the virtual clock onto the wall clock at a fixed ratio.
+// It is used from a single goroutine (the engine's); a fresh Pacer is
+// built per run so repetitions each re-anchor at their own start.
+type Pacer struct {
+	ratio   float64 // virtual seconds per wall second
+	started bool
+	wall0   time.Time
+	virt0   sim.Time
+	sleep   func(time.Duration) // injectable for tests; time.Sleep otherwise
+}
+
+// NewPacer returns a pacer for the ratio, or nil when ratio <= 0 (the
+// nil Pacer is a valid no-op receiver, so callers can hold one field).
+func NewPacer(ratio float64) *Pacer {
+	if ratio <= 0 {
+		return nil
+	}
+	return &Pacer{ratio: ratio, sleep: time.Sleep}
+}
+
+// Pace blocks until the wall clock has caught up with virtual time now
+// at the configured ratio. The first call anchors the mapping, so
+// pacing measures from the first paced event, not process start.
+func (p *Pacer) Pace(now sim.Time) {
+	if p == nil {
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.wall0 = time.Now()
+		p.virt0 = now
+		return
+	}
+	virt := now.DurationSince(p.virt0).Seconds()
+	target := p.wall0.Add(time.Duration(virt / p.ratio * float64(time.Second)))
+	if d := time.Until(target); d > 200*time.Microsecond {
+		p.sleep(d)
+	}
+}

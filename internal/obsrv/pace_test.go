@@ -1,0 +1,89 @@
+package obsrv
+
+import (
+	"testing"
+	"time"
+
+	"rdasched/internal/sim"
+)
+
+func TestParsePace(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    float64
+		wantErr bool
+	}{
+		{"max", 0, false},
+		{"MAX", 0, false},
+		{"", 0, false},
+		{"1x", 1, false},
+		{"10x", 10, false},
+		{"0.5x", 0.5, false},
+		{"2", 2, false}, // bare ratio, no suffix
+		{" 4x ", 4, false},
+		{"0x", 0, true},
+		{"0", 0, true},
+		{"-2x", 0, true},
+		{"fast", 0, true},
+		{"x", 0, true},
+		{"10x10", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePace(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePace(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePace(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParsePace(%q) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPacerNilIsNoOp: ratio <= 0 disables pacing entirely, and the nil
+// receiver is safe to call.
+func TestPacerNilIsNoOp(t *testing.T) {
+	var p *Pacer
+	p.Pace(sim.Time(1e12)) // must not panic or sleep
+	if NewPacer(0) != nil || NewPacer(-1) != nil {
+		t.Fatal("NewPacer with non-positive ratio should return nil")
+	}
+}
+
+// TestPacerSleepTargets checks the wall targets a pacer computes: with
+// the sleep injected, 2 virtual seconds at 10x must wait to the
+// 0.2-wall-second mark from the anchor, and a virtual clock that is
+// behind the wall must not sleep at all.
+func TestPacerSleepTargets(t *testing.T) {
+	p := NewPacer(10)
+	var slept []time.Duration
+	p.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	p.Pace(sim.Time(0)) // anchors, never sleeps
+	if len(slept) != 0 {
+		t.Fatalf("anchor call slept %v", slept)
+	}
+	p.Pace(sim.Time(2 * sim.Second))
+	if len(slept) != 1 {
+		t.Fatalf("expected one sleep, got %v", slept)
+	}
+	// Target is anchor + 200ms; the elapsed wall time between the two
+	// Pace calls only shrinks the sleep, so bound it from both sides.
+	if slept[0] <= 0 || slept[0] > 200*time.Millisecond {
+		t.Fatalf("sleep %v outside (0, 200ms]", slept[0])
+	}
+
+	// A pacer that is already behind the wall clock never sleeps: anchor,
+	// stall the wall, then advance virtual time by less than the stall.
+	q := NewPacer(1000)
+	q.sleep = func(d time.Duration) { t.Fatalf("paced a virtual clock that is behind the wall (slept %v)", d) }
+	q.Pace(sim.Time(0))
+	time.Sleep(5 * time.Millisecond)
+	q.Pace(sim.Time(1 * sim.Second)) // 1 virtual second = 1ms wall at 1000x, already passed
+}

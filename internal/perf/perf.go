@@ -16,6 +16,7 @@ import (
 	"rdasched/internal/core"
 	"rdasched/internal/faults"
 	"rdasched/internal/machine"
+	"rdasched/internal/obsrv"
 	"rdasched/internal/persist"
 	"rdasched/internal/pp"
 	"rdasched/internal/proc"
@@ -199,7 +200,27 @@ type RunConfig struct {
 	// value: each repetition is a pure function of (w, rc, rep), and
 	// samples are aggregated in repetition order.
 	Jobs int
+
+	// Obsrv, when non-nil, attaches the live introspection server to
+	// the run: the decision stream fans out to its /events hub, the
+	// telemetry registry (with Telemetry set) becomes scrapeable at
+	// /metrics, and the engine step hook publishes /state and /blame
+	// snapshots. The server observes through non-blocking copies only,
+	// so results are bit-identical to an unobserved run. A stop request
+	// (SIGTERM in the CLIs) halts the run with ErrStopped.
+	Obsrv *obsrv.Server
+	// Pace throttles virtual time to Pace virtual seconds per wall
+	// second (1 = real time, 10 = 10x speed); 0 runs unthrottled. The
+	// pacer only sleeps between events, never reorders them, so a paced
+	// run's results are identical to an unpaced one's.
+	Pace float64
 }
+
+// ErrStopped reports a run halted by an external stop request
+// (obsrv.Server.RequestStop — the CLIs' SIGTERM path). Callers that
+// asked for the stop should treat it as a clean, intentional end of
+// the run, not a failure.
+var ErrStopped = errors.New("run stopped by request")
 
 // Reps returns the effective repetition count (0 means 1).
 func (rc RunConfig) Reps() int {
@@ -332,6 +353,40 @@ type runSinks struct {
 	col  *trace.Collector
 	bcol *blame.Collector
 	smon *blame.SLOMonitor
+	in   *introspection
+}
+
+// introspection is the per-repetition bridge between the engine step
+// hook and the live server: stop requests, wall-clock pacing, and
+// periodic state/blame publication. It runs entirely on the engine
+// goroutine; the gate pointer is re-aimed when the restore path swaps
+// gates so /state keeps tracking the live one.
+type introspection struct {
+	srv   *obsrv.Server
+	pacer *obsrv.Pacer
+	eng   *sim.Engine
+	gate  admission
+	sk    *runSinks
+}
+
+// step is the sim.Engine hook: honor a pending stop first (so a stuck
+// reader or a long pace sleep cannot delay shutdown past one event),
+// then pace, then maybe publish snapshots. Halt is the hook's one
+// sanctioned engine mutation.
+func (in *introspection) step(now sim.Time) {
+	if in.srv != nil && in.srv.StopRequested() {
+		in.eng.Halt()
+		return
+	}
+	in.pacer.Pace(now)
+	if in.srv == nil || in.gate == nil {
+		return
+	}
+	var rpt func() *blame.Report
+	if in.sk.bcol != nil {
+		rpt = in.sk.bcol.Report
+	}
+	in.srv.MaybePublish(in.gate.ExportState, rpt)
 }
 
 // bind wires one gate to the machine and attaches the (lazily created)
@@ -372,6 +427,12 @@ func (sk *runSinks) bind(schd admission, m *machine.Machine, rc RunConfig) error
 			}
 		}
 		schd.AddSink(sk.smon)
+	}
+	if rc.Obsrv != nil {
+		schd.AddSink(rc.Obsrv.Hub())
+		if sk.reg != nil {
+			rc.Obsrv.SetRegistry(sk.reg)
+		}
 	}
 	return nil
 }
@@ -478,6 +539,19 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 			return Metrics{}, err
 		}
 	}
+	if rc.Obsrv != nil || rc.Pace > 0 {
+		sk.in = &introspection{
+			srv:   rc.Obsrv,
+			pacer: obsrv.NewPacer(rc.Pace),
+			eng:   m.Engine(),
+			gate:  schd,
+			sk:    sk,
+		}
+		m.Engine().SetStepHook(sk.in.step)
+		if rc.Obsrv != nil {
+			rc.Obsrv.SetReady(true)
+		}
+	}
 	// Arm the process-death fault. A revival run re-arms the exact kill
 	// its checkpoint recorded, so the pre-kill prefix re-executes
 	// identically and halts at the same engine event.
@@ -522,6 +596,19 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	if err != nil {
 		if !errors.Is(err, machine.ErrHalted) {
 			return Metrics{}, err
+		}
+		if rc.Obsrv != nil && rc.Obsrv.StopRequested() {
+			// An external stop request (SIGTERM), not the injected kill:
+			// leave any checkpoint consistent and report the clean-stop
+			// sentinel. This is checked before the restore branch — a
+			// stop during prefix re-execution must not be mistaken for
+			// reaching the checkpointed kill time.
+			if cp != nil {
+				if cerr := cp.Close(); cerr != nil {
+					return Metrics{}, cerr
+				}
+			}
+			return Metrics{}, fmt.Errorf("perf: run stopped at %v: %w", m.Now(), ErrStopped)
 		}
 		if rc.Restore == nil {
 			// The injected process death: everything the run leaves
@@ -592,6 +679,15 @@ func runOnce(w proc.Workload, rc RunConfig, rep uint64) (Metrics, error) {
 	}
 	if rc.Restore != nil && reg != nil {
 		rc.Restore.Publish(reg)
+	}
+	if rc.Obsrv != nil {
+		// Publish the end-of-run snapshots unconditionally so /state and
+		// /blame reflect the final (post-Quiesce) picture even for runs
+		// shorter than the publication period.
+		if schd != nil {
+			_ = rc.Obsrv.PublishState(schd.ExportState())
+		}
+		_ = rc.Obsrv.PublishBlame(brpt)
 	}
 	return Metrics{
 		Telemetry: reg,
@@ -687,6 +783,11 @@ func resumeRestored(m *machine.Machine, rc RunConfig, cfg machine.Config, old ad
 	}
 	if err := schd.ImportState(want, m.ThreadByID); err != nil {
 		return nil, nil, nil, err
+	}
+	if sk.in != nil {
+		// The imported gate owns the rest of the run; /state must track
+		// it, not the detached prefix gate.
+		sk.in.gate = schd
 	}
 	m.SetGate(schd)
 	m.Engine().Resume()

@@ -58,6 +58,7 @@ type Engine struct {
 	rng    *RNG
 	fired  uint64
 	halted bool
+	hook   func(Time)
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG
@@ -112,6 +113,15 @@ func (e *Engine) Cancel(ev *Event) {
 	heap.Remove(&e.queue, ev.index)
 }
 
+// SetStepHook installs fn, invoked after every fired event with the
+// engine's current time (nil clears it). The hook is the bridge between
+// the virtual clock and the wall clock: the live introspection layer
+// uses it to pace event firing against real time, publish state
+// snapshots, and request a halt from outside the simulation goroutine.
+// The hook must not schedule, cancel, or fire events (Halt is the one
+// sanctioned mutation); everything it observes is read-only.
+func (e *Engine) SetStepHook(fn func(Time)) { e.hook = fn }
+
 // Step fires the next pending event, advancing the clock to its time.
 // It returns false when the queue is empty or the engine has been halted.
 func (e *Engine) Step() bool {
@@ -122,6 +132,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.fired++
 	ev.fire()
+	if e.hook != nil {
+		e.hook(e.now)
+	}
 	return true
 }
 

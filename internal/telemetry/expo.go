@@ -9,25 +9,33 @@ import (
 	"strings"
 )
 
-// Exposition encoders. Both iterate instruments in sorted-name order
-// and format numbers with strconv's shortest round-trip representation,
-// so a registry's exposition is a deterministic function of its
-// contents — expositions can be diffed, golden-pinned, and compared
-// across worker counts.
+// Exposition encoders. Both render from a Snapshot — a private,
+// consistent copy of the registry — so scraping a registry mid-run
+// (the live /metrics endpoint) is race-free, and both iterate
+// instruments in sorted-name order and format numbers with strconv's
+// shortest round-trip representation, so a registry's exposition is a
+// deterministic function of its contents — expositions can be diffed,
+// golden-pinned, and compared across worker counts.
 
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4). Histograms render cumulative
 // le-buckets plus _sum and _count, like a native Prometheus histogram.
+// Safe to call while the writer goroutine is still emitting.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().writePrometheus(w)
+}
+
+// writePrometheus renders a snapshot the caller owns exclusively.
+func (r *Registry) writePrometheus(w io.Writer) error {
 	for _, name := range r.counterNames() {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
-			name, name, r.counters[name].v); err != nil {
+			name, name, r.counters[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range r.gaugeNames() {
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
-			name, name, fnum(r.gauges[name].v)); err != nil {
+			name, name, fnum(r.gauges[name].Value())); err != nil {
 			return err
 		}
 	}
@@ -91,15 +99,21 @@ type jsonBucket struct {
 
 // WriteJSON renders the registry as a single JSON object with
 // "counters", "gauges", and "histograms" members. encoding/json sorts
-// map keys, so the output is deterministic.
+// map keys, so the output is deterministic. Safe to call while the
+// writer goroutine is still emitting (renders from a Snapshot).
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().writeJSON(w)
+}
+
+// writeJSON renders a snapshot the caller owns exclusively.
+func (r *Registry) writeJSON(w io.Writer) error {
 	counters := make(map[string]uint64, len(r.counters))
 	for name, c := range r.counters {
-		counters[name] = c.v
+		counters[name] = c.Value()
 	}
 	gauges := make(map[string]float64, len(r.gauges))
 	for name, g := range r.gauges {
-		gauges[name] = g.v
+		gauges[name] = g.Value()
 	}
 	hists := make(map[string]jsonHistogram, len(r.hists))
 	for name, h := range r.hists {

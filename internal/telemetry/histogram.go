@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // Histogram is a log-bucketed distribution: every positive observation
@@ -13,7 +14,13 @@ import (
 // dedicated zero bucket. The histogram keeps exact count, sum, min,
 // and max alongside the buckets; quantiles are read from the bucket
 // boundaries (an upper bound, so reported tails never understate).
+//
+// A histogram updates several fields per observation, so unlike
+// Counter/Gauge it synchronizes with a mutex: Observe and Merge are
+// single-writer like every instrument, and the mutex exists so a
+// concurrent Snapshot (a mid-run scrape) reads a consistent image.
 type Histogram struct {
+	mu      sync.Mutex
 	buckets map[int]uint64 // frexp exponent → count, values in [2^(e-1), 2^e)
 	zero    uint64         // observations <= 0
 	count   uint64
@@ -29,6 +36,8 @@ func NewHistogram() *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -45,39 +54,80 @@ func (h *Histogram) Observe(v float64) {
 	h.buckets[e]++
 }
 
+// clone returns a private deep copy, consistent at one instant.
+func (h *Histogram) clone() *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := &Histogram{
+		buckets: make(map[int]uint64, len(h.buckets)),
+		zero:    h.zero, count: h.count, sum: h.sum, min: h.min, max: h.max,
+	}
+	for e, n := range h.buckets {
+		out.buckets[e] = n
+	}
+	return out
+}
+
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the sum of all observations.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Min and Max return the extreme observations (0 when empty).
-func (h *Histogram) Min() float64 { return h.min }
-func (h *Histogram) Max() float64 { return h.max }
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Mean returns the arithmetic mean (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
 	return h.sum / float64(h.count)
 }
 
-// Merge adds other's observations into h.
+// Merge adds other's observations into h. It reads other through a
+// consistent copy, so merging a histogram that is still being written
+// is safe (the copy is whatever the writer had published at the call).
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || other.count == 0 {
+	if other == nil {
 		return
 	}
-	if h.count == 0 || other.min < h.min {
-		h.min = other.min
+	o := other.clone()
+	if o.count == 0 {
+		return
 	}
-	if h.count == 0 || other.max > h.max {
-		h.max = other.max
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
 	}
-	h.count += other.count
-	h.sum += other.sum
-	h.zero += other.zero
-	for e, n := range other.buckets {
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.zero += o.zero
+	for e, n := range o.buckets {
 		h.buckets[e] += n
 	}
 }
@@ -87,6 +137,12 @@ func (h *Histogram) Merge(other *Histogram) {
 // observation, clamped to the observed maximum. Returns 0 for an empty
 // histogram.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -101,7 +157,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return 0
 	}
 	cum := h.zero
-	for _, e := range h.exponents() {
+	for _, e := range h.exponentsLocked() {
 		cum += h.buckets[e]
 		if cum >= rank {
 			ub := math.Ldexp(1, e)
@@ -114,8 +170,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
-// exponents returns the populated bucket exponents in ascending order.
-func (h *Histogram) exponents() []int {
+// exponentsLocked returns the populated bucket exponents in ascending
+// order; the caller holds h.mu.
+func (h *Histogram) exponentsLocked() []int {
 	es := make([]int, 0, len(h.buckets))
 	for e := range h.buckets {
 		es = append(es, e)
@@ -135,11 +192,13 @@ type Bucket struct {
 // Buckets returns the populated buckets in ascending boundary order,
 // with non-cumulative counts.
 func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var bs []Bucket
 	if h.zero > 0 {
 		bs = append(bs, Bucket{UpperBound: 0, Count: h.zero})
 	}
-	for _, e := range h.exponents() {
+	for _, e := range h.exponentsLocked() {
 		bs = append(bs, Bucket{UpperBound: math.Ldexp(1, e), Count: h.buckets[e]})
 	}
 	return bs

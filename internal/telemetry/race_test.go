@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestScrapeDuringWrite is the live-scrape contract under the race
+// detector: one goroutine hammers every instrument kind (the
+// single-writer engine goroutine) while others concurrently render both
+// expositions, snapshot, lint, and merge — the /metrics handler's read
+// paths. Run with -race; the test also checks the reads return
+// well-formed output, not just that they survive.
+func TestScrapeDuringWrite(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	var wg sync.WaitGroup
+
+	go func() {
+		defer close(writerDone)
+		c := r.Counter("rda_test_events_total")
+		g := r.Gauge("rda_test_load_bytes")
+		h := r.Histogram("rda_test_wait_seconds")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			g.Set(float64(i % 1024))
+			h.Observe(float64(i%100) / 10)
+			if i%256 == 0 {
+				// Exercise get-or-create under contention too.
+				r.Counter("rda_test_late_total").Inc()
+			}
+		}
+	}()
+
+	readers := []func() error{
+		func() error {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				return err
+			}
+			if buf.Len() > 0 && !strings.Contains(buf.String(), "# TYPE") {
+				t.Error("prometheus exposition missing TYPE lines")
+			}
+			return nil
+		},
+		func() error {
+			var buf bytes.Buffer
+			return r.WriteJSON(&buf)
+		},
+		func() error {
+			snap := r.Snapshot()
+			var buf bytes.Buffer
+			return snap.WritePrometheus(&buf)
+		},
+		func() error {
+			for _, err := range r.Lint() {
+				t.Errorf("lint: %v", err)
+			}
+			return nil
+		},
+		func() error {
+			agg := NewRegistry()
+			agg.Merge(r)
+			return nil
+		},
+	}
+	for _, read := range readers {
+		read := read
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := read(); err != nil {
+					t.Errorf("concurrent read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// The writer loops until told to stop; stop it once every reader has
+	// finished its 50 iterations, so writes overlap reads the whole time.
+	wg.Wait()
+	close(stop)
+	<-writerDone
+}
+
+// TestSnapshotIsConsistentCopy pins Snapshot semantics: the copy holds
+// the values at the call, and later writes to the live registry do not
+// leak into it.
+func TestSnapshotIsConsistentCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rda_a_total").Add(3)
+	r.Gauge("rda_b").Set(1.5)
+	r.Histogram("rda_c").Observe(2)
+
+	snap := r.Snapshot()
+
+	r.Counter("rda_a_total").Add(10)
+	r.Gauge("rda_b").Set(9)
+	r.Histogram("rda_c").Observe(64)
+	r.Counter("rda_new_total").Inc()
+
+	if got := snap.Counter("rda_a_total").Value(); got != 3 {
+		t.Fatalf("snapshot counter = %d, want 3 (live writes leaked in)", got)
+	}
+	if got := snap.Gauge("rda_b").Value(); got != 1.5 {
+		t.Fatalf("snapshot gauge = %g, want 1.5", got)
+	}
+	if got := snap.Histogram("rda_c").Count(); got != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", got)
+	}
+	var live, frozen bytes.Buffer
+	if err := r.WritePrometheus(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&frozen); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(frozen.String(), "rda_new_total") {
+		t.Fatal("snapshot grew an instrument created after the snapshot")
+	}
+	if !strings.Contains(live.String(), "rda_new_total") {
+		t.Fatal("live registry lost an instrument")
+	}
+}
+
+// TestSnapshotExpositionMatchesQuiescent: rendering through the public
+// encoders (which snapshot internally) must be byte-identical to
+// rendering the registry when nothing is writing — snapshotting is a
+// concurrency mechanism, never a format change.
+func TestSnapshotExpositionMatchesQuiescent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rda_x_total").Add(7)
+	r.Gauge("rda_y").Set(3.25)
+	h := r.Histogram("rda_z_seconds")
+	for _, v := range []float64{0.1, 0.5, 2, 2, 8, 0} {
+		h.Observe(v)
+	}
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("snapshot exposition differs from live:\nlive:\n%s\nsnapshot:\n%s", a.String(), b.String())
+	}
+}

@@ -5,8 +5,15 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | go run ./scripts/benchjson -o BENCH_8.json
-//	go run ./scripts/benchjson -check BENCH_8.json
+//	go test -bench=. -benchmem ./... | go run ./scripts/benchjson -o BENCH_10.json
+//	go run ./scripts/benchjson -check BENCH_10.json
+//	go run ./scripts/benchjson -diff BENCH_8.json BENCH_10.json
+//
+// -diff compares two artifacts benchmark by benchmark and exits
+// non-zero when any shared benchmark's ns/op regressed by more than
+// the -threshold (default 10%). Benchmarks present in only one
+// artifact are reported but never fail the diff, so adding or
+// retiring a benchmark does not break the gate.
 //
 // The converter reads benchmark result lines of the standard form
 //
@@ -47,14 +54,33 @@ type Benchmark struct {
 
 func main() {
 	var (
-		out   = flag.String("o", "", "write the JSON artifact to this file (default stdout)")
-		check = flag.String("check", "", "validate an existing artifact instead of converting")
+		out       = flag.String("o", "", "write the JSON artifact to this file (default stdout)")
+		check     = flag.String("check", "", "validate an existing artifact instead of converting")
+		diff      = flag.Bool("diff", false, "compare two artifacts (old new); exit non-zero on ns/op regressions past -threshold")
+		threshold = flag.Float64("threshold", 0.10, "relative ns/op regression that fails -diff (0.10 = 10%)")
 	)
 	flag.Parse()
 
 	if *check != "" {
 		if err := validate(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := diffArtifacts(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n",
+				regressions, *threshold*100)
 			os.Exit(1)
 		}
 		return
@@ -170,4 +196,73 @@ func validate(path string) error {
 	}
 	fmt.Printf("%s: %d benchmarks, valid\n", path, len(doc.Benchmarks))
 	return nil
+}
+
+// load reads and structurally validates one artifact for -diff.
+func load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported version %d", path, doc.Version)
+	}
+	return &doc, nil
+}
+
+// key identifies a benchmark across artifacts: same package, same name.
+func key(b Benchmark) string { return b.Package + "." + b.Name }
+
+// diffArtifacts prints a per-benchmark ns/op comparison of old vs new
+// and returns how many shared benchmarks regressed past the threshold.
+// Benchmarks only present on one side are listed as added/removed and
+// never count as regressions.
+func diffArtifacts(oldPath, newPath string, threshold float64) (int, error) {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[key(b)] = b
+	}
+	regressions := 0
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nb := range newDoc.Benchmarks {
+		seen[key(nb)] = true
+		ob, ok := oldBy[key(nb)]
+		if !ok {
+			fmt.Printf("ADDED    %-50s %12.1f ns/op\n", nb.Name, nb.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if oldNs <= 0 {
+			fmt.Printf("SKIP     %-50s old ns/op %g not comparable\n", nb.Name, oldNs)
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			regressions++
+		} else if delta < -threshold {
+			verdict = "improved"
+		}
+		fmt.Printf("%-8s %-50s %12.1f -> %12.1f ns/op  %+6.1f%%\n",
+			verdict, nb.Name, oldNs, newNs, delta*100)
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if !seen[key(ob)] {
+			fmt.Printf("REMOVED  %-50s %12.1f ns/op\n", ob.Name, ob.Metrics["ns/op"])
+		}
+	}
+	return regressions, nil
 }

@@ -1,0 +1,152 @@
+// Command promlint validates a Prometheus text exposition (version
+// 0.0.4) scraped from the live /metrics endpoint: it checks the
+// line-level format, rebuilds a telemetry.Registry from the # TYPE
+// declarations, and runs the registry's own Lint over it — so CI's
+// curl of a running server is held to exactly the naming conventions
+// the in-process tests enforce.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | go run ./scripts/promlint
+//	go run ./scripts/promlint metrics.txt
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rdasched/internal/telemetry"
+)
+
+func main() {
+	r := io.Reader(os.Stdin)
+	src := "stdin"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, src = f, os.Args[1]
+	}
+	families, errs := lint(r)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "promlint:", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	if families == 0 {
+		fmt.Fprintln(os.Stderr, "promlint: no metric families in", src)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d metric families, lint-clean\n", src, families)
+}
+
+// lint parses one exposition and returns the family count plus every
+// format or convention violation found.
+func lint(r io.Reader) (families int, errs []error) {
+	reg := telemetry.NewRegistry()
+	typed := map[string]string{} // family name -> declared kind
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				errs = append(errs, fmt.Errorf("line %d: malformed TYPE declaration %q", n, line))
+				continue
+			}
+			name, kind := fields[2], fields[3]
+			if prev, dup := typed[name]; dup {
+				errs = append(errs, fmt.Errorf("line %d: %q declared twice (%s, then %s)", n, name, prev, kind))
+				continue
+			}
+			typed[name] = kind
+			// Registering the family in a real Registry makes its Lint —
+			// name grammar, _total conventions, reserved suffixes, kind
+			// collisions — apply verbatim to the scraped exposition.
+			switch kind {
+			case "counter":
+				reg.Counter(name)
+			case "gauge":
+				reg.Gauge(name)
+			case "histogram":
+				reg.Histogram(name)
+			default:
+				errs = append(errs, fmt.Errorf("line %d: %q has unknown type %q", n, name, kind))
+			}
+		case strings.HasPrefix(line, "#"):
+			// HELP and comments are fine.
+		default:
+			name, value, ok := sampleLine(line)
+			if !ok {
+				errs = append(errs, fmt.Errorf("line %d: malformed sample %q", n, line))
+				continue
+			}
+			if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+				errs = append(errs, fmt.Errorf("line %d: %s has non-numeric value %q", n, name, value))
+			}
+			if !declared(typed, name) {
+				errs = append(errs, fmt.Errorf("line %d: sample %q has no TYPE declaration", n, name))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, append(errs, err)
+	}
+	for _, err := range reg.Lint() {
+		errs = append(errs, err)
+	}
+	return len(typed), errs
+}
+
+// sampleLine splits "name{labels} value" or "name value" into its name
+// and value.
+func sampleLine(line string) (name, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", false
+		}
+		name, rest = line[:i], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", false
+		}
+		name, rest = fields[0], fields[1]
+	}
+	fields := strings.Fields(rest)
+	if name == "" || len(fields) == 0 {
+		return "", "", false
+	}
+	return name, fields[0], true
+}
+
+// declared reports whether a sample name belongs to a declared family,
+// accounting for the histogram-derived _bucket/_sum/_count series.
+func declared(typed map[string]string, name string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if ok && typed[base] == "histogram" {
+			return true
+		}
+	}
+	return false
+}
